@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark (experiment regeneration) harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (a panel
+of Figure 5-8 or one of the textual results of Section 6).  The timing model
+is a pure-Python cycle simulator, so the harness runs each benchmark on a
+reduced dynamic-instruction budget and, by default, on a representative
+subset of kernels per suite; set ``REPRO_BENCH_FULL=1`` to sweep every kernel
+with a larger budget (slower but closer to the recorded EXPERIMENTS.md runs).
+
+The rendered result tables are written to ``benchmarks/results/`` so they can
+be inspected and compared against EXPERIMENTS.md after a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+#: Representative kernels per suite used by the quick (default) configuration.
+QUICK_BENCHMARKS = [
+    "gcc", "mcf", "crafty", "gzip",               # SPECint-like
+    "adpcm.encode", "gsm.toast", "mpeg2.decode", "jpeg.compress",  # MediaBench-like
+    "frag", "rtr", "reed.encode", "cast.encrypt",  # CommBench-like
+    "bitcount", "sha", "crc", "susan.smoothing",   # MiBench-like
+]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_sweep() -> bool:
+    """True when the caller asked for the full benchmark sweep."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_budget() -> int:
+    """Dynamic-instruction budget per benchmark run."""
+    return 25_000 if full_sweep() else 8_000
+
+
+def bench_benchmarks() -> list[str]:
+    """Benchmarks included in the sweep."""
+    if full_sweep():
+        return ExperimentRunner.benchmarks()
+    return list(QUICK_BENCHMARKS)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared runner so artifacts (profiles, selections, traces) are reused."""
+    return ExperimentRunner(budget=bench_budget())
+
+
+@pytest.fixture(scope="session")
+def benchmarks() -> list[str]:
+    return bench_benchmarks()
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered result table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

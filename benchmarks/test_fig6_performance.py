@@ -1,0 +1,24 @@
+"""Regenerates Figure 6: mini-graph performance relative to the baseline (E5)."""
+
+import pytest
+
+from repro.experiments import run_figure6
+
+from conftest import write_result
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig6_performance(benchmark, runner, benchmarks):
+    result = benchmark.pedantic(
+        lambda: run_figure6(runner, benchmarks=benchmarks),
+        rounds=1, iterations=1)
+    write_result("fig6_performance", result.render())
+
+    table = result.table
+    media_gain = table.suite_means("int-mem").get("media", 1.0)
+    spec_gain = table.suite_means("int-mem").get("spec", 1.0)
+    # Shape checks from the paper: MediaBench benefits the most, SPECint the
+    # least; collapsing ALU pipelines never hurt on average.
+    assert media_gain >= spec_gain - 0.02
+    assert table.overall_mean("int") > 0.95
+    assert table.overall_mean("int-mem+collapse") >= table.overall_mean("int-mem") - 0.02

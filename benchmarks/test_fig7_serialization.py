@@ -1,0 +1,33 @@
+"""Regenerates Figure 7 and the best-policy result (E6, E10)."""
+
+import pytest
+
+from repro.experiments import FIGURE7_BENCHMARKS, run_best_policy, run_figure7
+
+from conftest import full_sweep, write_result
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_fig7_serialization(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: run_figure7(runner, benchmarks=FIGURE7_BENCHMARKS),
+        rounds=1, iterations=1)
+    write_result("fig7_serialization", result.render())
+    table = result.table
+    # mcf is the paper's replay-loss poster child: removing serialization and
+    # replay-vulnerable graphs must not make it worse.
+    assert table.value("mcf", "int-mem-noserial-noreplay") >= table.value("mcf", "int-mem") - 0.02
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_best_policy(benchmark, runner, benchmarks):
+    names = benchmarks if full_sweep() else benchmarks[:8]
+    figure7_default = run_figure7(runner, benchmarks=names)
+    result = benchmark.pedantic(
+        lambda: run_best_policy(runner, benchmarks=names),
+        rounds=1, iterations=1)
+    lines = [result.render()]
+    write_result("best_policy", "\n".join(lines))
+    # Choosing the best policy per benchmark can only improve on any fixed policy.
+    for name in names:
+        assert result.best_speedup[name] >= figure7_default.table.value(name, "int-mem") - 1e-9

@@ -1,0 +1,128 @@
+"""repro: a reproduction of "Dataflow Mini-Graphs: Amplifying Superscalar
+Capacity and Bandwidth" (Bracy, Prahlad, Roth — MICRO-37, 2004).
+
+The package is organised bottom-up:
+
+* :mod:`repro.isa` — the Alpha-inspired MGA instruction set and assembler;
+* :mod:`repro.program` — static program model, basic blocks, CFG, liveness,
+  profiles and the binary rewriter that plants mini-graph handles;
+* :mod:`repro.minigraph` — the paper's contribution: candidate enumeration,
+  greedy coverage-driven selection, selection policies and the MGT
+  (MGHT/MGST);
+* :mod:`repro.dise` — the DISE substrate used to commission application
+  specific mini-graphs (productions, MGTT, MGPP);
+* :mod:`repro.sim` — the functional (architectural) golden-model simulator;
+* :mod:`repro.uarch` — the cycle-level out-of-order timing model with ALU
+  pipelines and the sliding-window scheduler;
+* :mod:`repro.workloads` — synthetic stand-ins for SPECint, MediaBench,
+  CommBench and MiBench;
+* :mod:`repro.experiments` — harnesses that regenerate every figure of the
+  paper's evaluation.
+
+The :func:`prepare_minigraph_run` helper below wires the common end-to-end
+flow (profile -> select -> rewrite -> MGT -> traces) together for quick use;
+the example scripts under ``examples/`` show it in context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .minigraph import (
+    DEFAULT_POLICY,
+    MiniGraphTable,
+    MgtBuildOptions,
+    SelectionPolicy,
+    SelectionResult,
+    select_minigraphs,
+)
+from .program import Program, rewrite_program
+from .sim import FunctionalResult, run_program
+from .sim.trace import Trace
+from .uarch import (
+    MachineConfig,
+    PipelineStats,
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+    simulate_program,
+)
+from .workloads import load_benchmark
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class MiniGraphRun:
+    """Everything produced by :func:`prepare_minigraph_run` for one program."""
+
+    original: Program
+    baseline_result: FunctionalResult
+    selection: SelectionResult
+    mgt: MiniGraphTable
+    rewritten: Program
+    rewritten_result: FunctionalResult
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of dynamic instructions absorbed into handles."""
+        return self.rewritten_result.trace.dynamic_coverage()
+
+    def baseline_stats(self, config: Optional[MachineConfig] = None) -> PipelineStats:
+        """Timing-simulate the original program."""
+        machine = config or baseline_config()
+        return simulate_program(self.original, self.baseline_result.trace, machine)
+
+    def minigraph_stats(self, config: Optional[MachineConfig] = None) -> PipelineStats:
+        """Timing-simulate the rewritten program on a mini-graph machine."""
+        machine = config or integer_memory_minigraph_config()
+        return simulate_program(self.rewritten, self.rewritten_result.trace, machine,
+                                mgt=self.mgt)
+
+    def speedup(self, *, baseline: Optional[MachineConfig] = None,
+                minigraph: Optional[MachineConfig] = None) -> float:
+        """Relative performance of the mini-graph machine over the baseline."""
+        base = self.baseline_stats(baseline)
+        mini = self.minigraph_stats(minigraph)
+        return mini.ipc / base.ipc if base.ipc else 1.0
+
+
+def prepare_minigraph_run(program: Program, *, policy: SelectionPolicy = DEFAULT_POLICY,
+                          budget: int = 20_000,
+                          mgt_options: Optional[MgtBuildOptions] = None) -> MiniGraphRun:
+    """Run the complete flow (profile, select, rewrite, re-trace) for ``program``."""
+    baseline_result = run_program(program, max_instructions=budget)
+    selection = select_minigraphs(program, baseline_result.profile, policy=policy)
+    mgt = MiniGraphTable.from_selection(selection, mgt_options)
+    rewritten = rewrite_program(program, selection.rewrite_sites()).program
+    rewritten_result = run_program(rewritten, mgt=mgt, max_instructions=budget)
+    return MiniGraphRun(
+        original=program,
+        baseline_result=baseline_result,
+        selection=selection,
+        mgt=mgt,
+        rewritten=rewritten,
+        rewritten_result=rewritten_result,
+    )
+
+
+__all__ = [
+    "__version__",
+    "MiniGraphRun",
+    "prepare_minigraph_run",
+    "load_benchmark",
+    "run_program",
+    "select_minigraphs",
+    "rewrite_program",
+    "simulate_program",
+    "baseline_config",
+    "integer_minigraph_config",
+    "integer_memory_minigraph_config",
+    "DEFAULT_POLICY",
+    "MiniGraphTable",
+    "MgtBuildOptions",
+    "SelectionPolicy",
+    "MachineConfig",
+    "PipelineStats",
+]

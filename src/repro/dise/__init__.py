@@ -1,0 +1,36 @@
+"""DISE substrate: productions, decode-time engine, MGTT and MGPP."""
+
+from .production import (
+    DISE_REGISTER_BACKING,
+    NUM_DISE_REGISTERS,
+    DiseError,
+    Operand,
+    Pattern,
+    Production,
+    ReplacementInstruction,
+)
+from .engine import (
+    DecodeOutcome,
+    DiseEngine,
+    MgttEntry,
+    MiniGraphPreprocessor,
+    MiniGraphTagTable,
+)
+from .export import production_for_template, productions_for_selection
+
+__all__ = [
+    "DISE_REGISTER_BACKING",
+    "NUM_DISE_REGISTERS",
+    "DiseError",
+    "Operand",
+    "Pattern",
+    "Production",
+    "ReplacementInstruction",
+    "DecodeOutcome",
+    "DiseEngine",
+    "MgttEntry",
+    "MiniGraphPreprocessor",
+    "MiniGraphTagTable",
+    "production_for_template",
+    "productions_for_selection",
+]

@@ -1,0 +1,254 @@
+"""The DISE decode-time engine, the MGTT and the MGPP.
+
+A DISE mini-graph microarchitecture (Section 5 of the paper) combines three
+pieces:
+
+* the **engine** holds the active productions and, at decode time, either
+  expands a matching instruction into its replacement sequence or — for
+  approved mini-graph codewords — leaves the handle in-line so the execution
+  core can exploit it;
+* the **MGTT** (mini-graph tag table) turns the MGT into a cache: it records
+  which MGIDs have been pre-processed and approved;
+* the **MGPP** (mini-graph pre-processor) scans a production's replacement
+  sequence, checks that it satisfies the mini-graph constraints and compiles
+  it into MGHT/MGST format.  Productions that do not qualify simply remain
+  ordinary DISE expansions — the processor "can always expand a mini-graph it
+  doesn't understand".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.registers import ZERO_REG
+from ..minigraph.mgt import MgtBuildOptions, MiniGraphTable
+from ..minigraph.templates import (
+    MiniGraphTemplate,
+    OperandRef,
+    TemplateError,
+    TemplateInstruction,
+    external,
+    immediate,
+    internal,
+    zero,
+)
+from .production import DiseError, Operand, Production, ReplacementInstruction
+
+
+@dataclass
+class MgttEntry:
+    """One mini-graph tag table entry.
+
+    ``valid`` means the MGID has been seen and pre-processed; ``approved``
+    means the MGPP accepted it and handles with this MGID should stay
+    un-expanded.
+    """
+
+    mgid: int
+    valid: bool = False
+    approved: bool = False
+
+
+class MiniGraphTagTable:
+    """Tag table that makes the MGT behave as a cache of approved MGIDs."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("MGTT capacity must be positive")
+        self._capacity = capacity
+        self._entries: Dict[int, MgttEntry] = {}
+        self._lru: List[int] = []
+
+    def __contains__(self, mgid: int) -> bool:
+        entry = self._entries.get(mgid)
+        return entry is not None and entry.valid
+
+    def is_approved(self, mgid: int) -> bool:
+        """True if handles with ``mgid`` should remain un-expanded."""
+        entry = self._entries.get(mgid)
+        return entry is not None and entry.valid and entry.approved
+
+    def install(self, mgid: int, approved: bool) -> MgttEntry:
+        """Record the pre-processing verdict for ``mgid`` (with LRU eviction)."""
+        if mgid in self._entries:
+            self._lru.remove(mgid)
+        elif len(self._entries) >= self._capacity:
+            victim = self._lru.pop()
+            del self._entries[victim]
+        entry = MgttEntry(mgid=mgid, valid=True, approved=approved)
+        self._entries[mgid] = entry
+        self._lru.insert(0, mgid)
+        return entry
+
+    def touch(self, mgid: int) -> None:
+        """Refresh LRU state on a hit."""
+        if mgid in self._entries:
+            self._lru.remove(mgid)
+            self._lru.insert(0, mgid)
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class MiniGraphPreprocessor:
+    """Compiles DISE replacement sequences into mini-graph templates.
+
+    The MGPP is a small finite-state machine between DISE and the MGT.  Its
+    software model walks the replacement sequence once, classifying every
+    operand as an interface parameter, a DISE (interior) register or an
+    immediate, and rejects sequences that violate the mini-graph constraints.
+    """
+
+    def compile(self, production: Production) -> Optional[MiniGraphTemplate]:
+        """Return a template for ``production`` or None if it does not qualify."""
+        try:
+            return self._compile(production)
+        except (DiseError, TemplateError):
+            return None
+
+    def _compile(self, production: Production) -> Optional[MiniGraphTemplate]:
+        if len(production.replacement) < 2:
+            return None
+        dise_producer: Dict[int, int] = {}   # DISE register index -> producing slot
+        external_order: List[str] = []       # parameter names in E-index order
+        out_index: Optional[int] = None
+        template_instructions: List[TemplateInstruction] = []
+
+        def ref_for(operand: Optional[Operand]) -> Optional[OperandRef]:
+            if operand is None:
+                return None
+            if operand.dise_register is not None:
+                if operand.dise_register not in dise_producer:
+                    raise DiseError("DISE register read before being written")
+                return internal(dise_producer[operand.dise_register])
+            if operand.parameter in ("RS1", "RS2"):
+                if operand.parameter not in external_order:
+                    external_order.append(operand.parameter)
+                return external(external_order.index(operand.parameter))
+            if operand.parameter == "RD":
+                # Reading RD inside the sequence means reading the interface
+                # output before it is produced; mini-graphs do not allow it.
+                raise DiseError("mini-graph replacement sequences may not read T.RD")
+            if operand.register == ZERO_REG:
+                return zero()
+            if operand.register is not None:
+                raise DiseError("hard-coded program registers are not mini-graph eligible")
+            raise DiseError("immediate operand used in a register position")
+
+        for slot, template in enumerate(production.replacement):
+            spec_imm = None
+            if template.imm is not None:
+                if template.imm.literal is not None:
+                    spec_imm = template.imm.literal
+                else:
+                    raise DiseError("parameterised immediates are not supported in the MGT")
+            src0 = ref_for(template.rs1)
+            src1 = ref_for(template.rs2)
+            if template.rd is not None:
+                if template.rd.parameter == "RD":
+                    if out_index is not None:
+                        raise DiseError("mini-graphs allow a single interface output")
+                    out_index = slot
+                elif template.rd.dise_register is not None:
+                    dise_producer[template.rd.dise_register] = slot
+                else:
+                    raise DiseError("destinations must be T.RD or a DISE register")
+            template_instructions.append(TemplateInstruction(
+                op=template.op, src0=src0, src1=src1, imm=spec_imm))
+
+        if len(external_order) > 2:
+            return None
+        return MiniGraphTemplate(
+            instructions=tuple(template_instructions),
+            num_inputs=len(external_order),
+            out_index=out_index,
+        )
+
+
+@dataclass
+class DecodeOutcome:
+    """Result of running one fetched instruction through the DISE stage."""
+
+    instructions: List[Instruction]
+    expanded: bool
+    matched_production: Optional[str] = None
+
+    @property
+    def kept_handle(self) -> bool:
+        return not self.expanded and len(self.instructions) == 1 \
+            and self.instructions[0].is_handle
+
+
+class DiseEngine:
+    """Decode-time production matching with the keep-handle-inline option."""
+
+    def __init__(self, *, mgtt_capacity: int = 512,
+                 mgt_options: Optional[MgtBuildOptions] = None) -> None:
+        self._productions: List[Production] = []
+        self._by_codeword: Dict[int, Production] = {}
+        self.mgtt = MiniGraphTagTable(mgtt_capacity)
+        self.mgpp = MiniGraphPreprocessor()
+        self.mgt = MiniGraphTable(mgt_options)
+        self.expansions = 0
+        self.handles_kept = 0
+
+    # -- production management -----------------------------------------------------
+
+    def load_production(self, production: Production) -> None:
+        """Load one production (the OS loading a ``.dise`` section entry)."""
+        self._productions.append(production)
+        if production.pattern.codeword_id is not None:
+            self._by_codeword[production.pattern.codeword_id] = production
+
+    def load_productions(self, productions: Sequence[Production]) -> None:
+        for production in productions:
+            self.load_production(production)
+
+    def production_count(self) -> int:
+        return len(self._productions)
+
+    # -- decode path ------------------------------------------------------------------
+
+    def decode(self, insn: Instruction) -> DecodeOutcome:
+        """Run one fetched instruction through DISE.
+
+        Handles whose MGID is approved in the MGTT are kept in-line; everything
+        else that matches a production is expanded into its replacement
+        sequence (pre-processing the mini-graph on the first miss).
+        """
+        if insn.is_handle:
+            return self._decode_handle(insn)
+        for production in self._productions:
+            if production.pattern.codeword_id is None and production.matches(insn):
+                self.expansions += 1
+                return DecodeOutcome(instructions=production.expand(insn),
+                                     expanded=True,
+                                     matched_production=production.name)
+        return DecodeOutcome(instructions=[insn], expanded=False)
+
+    def _decode_handle(self, handle: Instruction) -> DecodeOutcome:
+        mgid = handle.mgid
+        production = self._by_codeword.get(mgid)
+        if production is None:
+            raise DiseError(f"no production loaded for codeword/MGID {mgid}")
+        if mgid in self.mgtt:
+            self.mgtt.touch(mgid)
+            if self.mgtt.is_approved(mgid):
+                self.handles_kept += 1
+                return DecodeOutcome(instructions=[handle], expanded=False,
+                                     matched_production=production.name)
+            self.expansions += 1
+            return DecodeOutcome(instructions=production.expand(handle), expanded=True,
+                                 matched_production=production.name)
+        # MGTT miss: expand this occurrence (to avoid stalling the pipeline)
+        # and send a copy to the MGPP for inspection/compilation.
+        template = self.mgpp.compile(production)
+        approved = template is not None
+        if approved and mgid not in self.mgt:
+            self.mgt.add(mgid, template)
+        self.mgtt.install(mgid, approved)
+        self.expansions += 1
+        return DecodeOutcome(instructions=production.expand(handle), expanded=True,
+                             matched_production=production.name)

@@ -1,0 +1,142 @@
+"""Export a mini-graph selection as DISE productions.
+
+Section 5 of the paper specifies application-specific mini-graphs as DISE
+productions: the handle is a codeword, the interface registers are template
+parameters and interior dataflow uses the dedicated DISE register set.  This
+module converts selection results / templates into that form so that a DISE
+engine can be commissioned with exactly the mini-graphs the selector chose
+(and so the MGPP round-trip can be tested: export -> compile -> identical
+template).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..minigraph.selection import SelectionResult
+from ..minigraph.templates import MiniGraphTemplate, OperandKind, OperandRef
+from .production import (
+    NUM_DISE_REGISTERS,
+    DiseError,
+    Operand,
+    Pattern,
+    Production,
+    ReplacementInstruction,
+)
+
+_PARAMETER_FOR_EXTERNAL = ("RS1", "RS2")
+
+
+def _operand_for_ref(ref: Optional[OperandRef],
+                     dise_register_of_slot: dict[int, int]) -> Optional[Operand]:
+    if ref is None:
+        return None
+    if ref.kind is OperandKind.EXTERNAL:
+        return Operand(parameter=_PARAMETER_FOR_EXTERNAL[ref.index])
+    if ref.kind is OperandKind.INTERNAL:
+        if ref.index not in dise_register_of_slot:
+            # The referenced slot's value went to T.RD (it is the interface
+            # output); the strict export cannot express reading it back, so the
+            # caller falls back to the interior-copy form.
+            raise DiseError("interior reference to the interface output")
+        return Operand(dise_register=dise_register_of_slot[ref.index])
+    if ref.kind is OperandKind.ZERO:
+        from ..isa.registers import ZERO_REG
+        return Operand(register=ZERO_REG)
+    raise DiseError(f"cannot convert operand reference {ref}")
+
+
+def production_for_template(mgid: int, template: MiniGraphTemplate, *,
+                            name: Optional[str] = None) -> Production:
+    """Build the DISE production whose codeword is the handle with ``mgid``."""
+    dise_register_of_slot: dict[int, int] = {}
+    next_dise = 0
+    replacement: List[ReplacementInstruction] = []
+    for slot, template_insn in enumerate(template.instructions):
+        destination: Optional[Operand] = None
+        if slot == template.out_index:
+            destination = Operand(parameter="RD")
+        elif template_insn.spec.writes_rd:
+            if next_dise >= NUM_DISE_REGISTERS:
+                raise DiseError(
+                    f"template needs more than {NUM_DISE_REGISTERS} DISE registers")
+            dise_register_of_slot[slot] = next_dise
+            destination = Operand(dise_register=next_dise)
+            next_dise += 1
+        if slot in dise_register_of_slot and slot == template.out_index:
+            # An instruction cannot be both interior producer and output here;
+            # out_index takes precedence and interior consumers read RD — which
+            # the MGPP forbids — so such templates are rejected upstream.
+            raise DiseError("conflicting destination classification")
+        # Interior values produced by the output instruction are referenced via
+        # the output parameter only when legal; templates produced by the
+        # enumerator reference the producing slot, so map it to a DISE register
+        # lazily when needed.
+        replacement.append(ReplacementInstruction(
+            op=template_insn.op,
+            rd=destination,
+            rs1=_operand_for_ref(template_insn.src0, dise_register_of_slot),
+            rs2=_operand_for_ref(template_insn.src1, dise_register_of_slot),
+            imm=Operand(literal=template_insn.imm) if template_insn.imm is not None else None,
+        ))
+    return Production(
+        name=name or f"minigraph-{mgid}",
+        pattern=Pattern(op="mg", codeword_id=mgid),
+        replacement=tuple(replacement),
+    )
+
+
+def productions_for_selection(selection: SelectionResult) -> List[Production]:
+    """Convert every selected mini-graph into a DISE production.
+
+    Templates whose interior values are also the interface output (the
+    ``addl/cmplt/bne`` example of Figure 1, where the first instruction both
+    produces the output and feeds the next instruction) cannot be expressed
+    with the strict "RD is never read" rule, so they are exported with an
+    extra DISE register carrying the interior copy.
+    """
+    productions: List[Production] = []
+    for selected in selection.selected:
+        template = selected.template
+        try:
+            productions.append(production_for_template(selected.mgid, template))
+        except DiseError:
+            productions.append(_production_with_interior_copy(selected.mgid, template))
+    return productions
+
+
+def _production_with_interior_copy(mgid: int, template: MiniGraphTemplate) -> Production:
+    """Fallback export: route every produced value through a DISE register and
+    add a final copy into T.RD for the interface output."""
+    dise_register_of_slot: dict[int, int] = {}
+    next_dise = 0
+    replacement: List[ReplacementInstruction] = []
+    for slot, template_insn in enumerate(template.instructions):
+        destination: Optional[Operand] = None
+        if template_insn.spec.writes_rd:
+            if next_dise >= NUM_DISE_REGISTERS:
+                raise DiseError(
+                    f"template needs more than {NUM_DISE_REGISTERS} DISE registers")
+            dise_register_of_slot[slot] = next_dise
+            destination = Operand(dise_register=next_dise)
+            next_dise += 1
+        replacement.append(ReplacementInstruction(
+            op=template_insn.op,
+            rd=destination,
+            rs1=_operand_for_ref(template_insn.src0, dise_register_of_slot),
+            rs2=_operand_for_ref(template_insn.src1, dise_register_of_slot),
+            imm=Operand(literal=template_insn.imm) if template_insn.imm is not None else None,
+        ))
+    if template.out_index is not None:
+        from ..isa.registers import ZERO_REG
+        replacement.append(ReplacementInstruction(
+            op="bis",
+            rd=Operand(parameter="RD"),
+            rs1=Operand(dise_register=dise_register_of_slot[template.out_index]),
+            rs2=Operand(register=ZERO_REG),
+        ))
+    return Production(
+        name=f"minigraph-{mgid}-expanded",
+        pattern=Pattern(op="mg", codeword_id=mgid),
+        replacement=tuple(replacement),
+    )

@@ -1,0 +1,195 @@
+"""DISE productions: patterns and parameterised replacement sequences.
+
+DISE (dynamic instruction stream editing) translates instructions into
+instruction sequences at decode time according to programmable rewriting
+rules called *productions*.  A production is a <pattern : replacement
+sequence> pair.  Patterns match aspects of a single instruction (opcode,
+registers, immediate); replacement sequences are instruction templates whose
+fields may be *parameters* filled from the matching instruction (``T.RS1``,
+``T.RS2``, ``T.RD``, ``T.IMM``) or *DISE registers* (``$d0``...) drawn from a
+dedicated register set so that expansions never clobber program state.
+
+Mini-graph processing is an *aware* DISE utility: the handle format matches a
+DISE codeword exactly (reserved opcode + immediate index), and the
+replacement sequence expresses the mini-graph's internal dataflow with DISE
+registers while the interface registers are parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import opcode
+
+#: Number of dedicated DISE registers ($d0 ... $dN-1).
+NUM_DISE_REGISTERS = 4
+#: Architectural registers used to back DISE registers during expansion.  The
+#: workload kernels never use these as live program values (they mirror the
+#: Alpha convention of reserving a couple of registers for the assembler/PAL).
+DISE_REGISTER_BACKING: Tuple[int, ...] = (25, 27, 23, 15)
+
+
+class DiseError(ValueError):
+    """Raised for malformed productions or failed parameter substitution."""
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """Pattern half of a production: matches one fetched instruction.
+
+    ``None`` fields are wildcards.  ``codeword_id`` matches the immediate of a
+    codeword/handle (aware utilities); ``op`` matches the mnemonic
+    (transparent utilities).
+    """
+
+    op: Optional[str] = None
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    codeword_id: Optional[int] = None
+
+    def matches(self, insn: Instruction) -> bool:
+        """True if ``insn`` matches this pattern."""
+        if self.op is not None and insn.op != self.op:
+            return False
+        if self.rd is not None and insn.rd != self.rd:
+            return False
+        if self.rs1 is not None and insn.rs1 != self.rs1:
+            return False
+        if self.rs2 is not None and insn.rs2 != self.rs2:
+            return False
+        if self.codeword_id is not None:
+            if not insn.is_handle or insn.imm != self.codeword_id:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One operand of a replacement-sequence template instruction.
+
+    Exactly one of the fields is meaningful:
+
+    * ``parameter``: ``"RS1"``, ``"RS2"``, ``"RD"`` or ``"IMM"`` — filled from
+      the matching instruction;
+    * ``dise_register``: index of a dedicated DISE register;
+    * ``register`` / ``literal``: a hard-coded register number or immediate.
+    """
+
+    parameter: Optional[str] = None
+    dise_register: Optional[int] = None
+    register: Optional[int] = None
+    literal: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        provided = [value for value in (self.parameter, self.dise_register,
+                                        self.register, self.literal) if value is not None]
+        if len(provided) != 1:
+            raise DiseError("an operand must specify exactly one source")
+        if self.parameter is not None and self.parameter not in ("RS1", "RS2", "RD", "IMM"):
+            raise DiseError(f"unknown template parameter {self.parameter!r}")
+        if self.dise_register is not None and not 0 <= self.dise_register < NUM_DISE_REGISTERS:
+            raise DiseError(f"DISE register index out of range: {self.dise_register}")
+
+    # Convenience constructors ----------------------------------------------------
+
+    @staticmethod
+    def rs1() -> "Operand":
+        return Operand(parameter="RS1")
+
+    @staticmethod
+    def rs2() -> "Operand":
+        return Operand(parameter="RS2")
+
+    @staticmethod
+    def rd() -> "Operand":
+        return Operand(parameter="RD")
+
+    @staticmethod
+    def imm() -> "Operand":
+        return Operand(parameter="IMM")
+
+    @staticmethod
+    def dise(index: int) -> "Operand":
+        return Operand(dise_register=index)
+
+    @staticmethod
+    def reg(register: int) -> "Operand":
+        return Operand(register=register)
+
+    @staticmethod
+    def lit(value: int) -> "Operand":
+        return Operand(literal=value)
+
+    def resolve_register(self, matched: Instruction) -> int:
+        """Resolve to a concrete register number given the matched instruction."""
+        if self.register is not None:
+            return self.register
+        if self.dise_register is not None:
+            return DISE_REGISTER_BACKING[self.dise_register]
+        if self.parameter == "RS1":
+            if matched.rs1 is None:
+                raise DiseError("pattern instruction has no RS1 to substitute")
+            return matched.rs1
+        if self.parameter == "RS2":
+            if matched.rs2 is None:
+                raise DiseError("pattern instruction has no RS2 to substitute")
+            return matched.rs2
+        if self.parameter == "RD":
+            if matched.rd is None:
+                raise DiseError("pattern instruction has no RD to substitute")
+            return matched.rd
+        raise DiseError(f"operand {self} does not name a register")
+
+    def resolve_immediate(self, matched: Instruction) -> int:
+        """Resolve to a concrete immediate given the matched instruction."""
+        if self.literal is not None:
+            return self.literal
+        if self.parameter == "IMM":
+            if matched.imm is None:
+                raise DiseError("pattern instruction has no immediate to substitute")
+            return matched.imm
+        raise DiseError(f"operand {self} does not name an immediate")
+
+
+@dataclass(frozen=True)
+class ReplacementInstruction:
+    """One instruction template in a replacement sequence."""
+
+    op: str
+    rd: Optional[Operand] = None
+    rs1: Optional[Operand] = None
+    rs2: Optional[Operand] = None
+    imm: Optional[Operand] = None
+
+    def instantiate(self, matched: Instruction) -> Instruction:
+        """Produce a concrete instruction for the matched instruction."""
+        spec = opcode(self.op)
+        rd = self.rd.resolve_register(matched) if self.rd is not None else None
+        rs1 = self.rs1.resolve_register(matched) if self.rs1 is not None else None
+        rs2 = self.rs2.resolve_register(matched) if self.rs2 is not None else None
+        imm = self.imm.resolve_immediate(matched) if self.imm is not None else None
+        return Instruction(self.op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+@dataclass(frozen=True)
+class Production:
+    """A complete DISE production: pattern plus replacement sequence."""
+
+    name: str
+    pattern: Pattern
+    replacement: Tuple[ReplacementInstruction, ...]
+
+    def matches(self, insn: Instruction) -> bool:
+        return self.pattern.matches(insn)
+
+    def expand(self, insn: Instruction) -> List[Instruction]:
+        """Instantiate the replacement sequence for ``insn``."""
+        return [template.instantiate(insn) for template in self.replacement]
+
+    @property
+    def is_aware(self) -> bool:
+        """Aware productions match codewords planted by a binary rewriter."""
+        return self.pattern.codeword_id is not None

@@ -1,0 +1,75 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation."""
+
+from .runner import BaselineArtifacts, ExperimentRunner, MiniGraphArtifacts
+from .reporting import (
+    ResultTable,
+    arithmetic_mean,
+    comparison_line,
+    format_percent,
+    geometric_mean,
+)
+from .fig5_coverage import (
+    CoverageExperimentResult,
+    Figure5Result,
+    run_coverage_panel,
+    run_domain_panel,
+    run_figure5,
+)
+from .fig6_performance import FIGURE6_CONFIGS, Figure6Result, run_figure6
+from .fig7_serialization import (
+    FIGURE7_BENCHMARKS,
+    BestPolicyResult,
+    Figure7Result,
+    run_best_policy,
+    run_figure7,
+)
+from .fig8_amplification import (
+    FIGURE8_BANDWIDTH_VARIANTS,
+    FIGURE8_MODES,
+    FIGURE8_REGISTER_SIZES,
+    Figure8Result,
+    run_bandwidth_panel,
+    run_figure8,
+    run_register_panel,
+)
+from .extras import (
+    ICacheEffectResult,
+    RobustnessResult,
+    run_icache_effect,
+    run_robustness,
+)
+
+__all__ = [
+    "BaselineArtifacts",
+    "ExperimentRunner",
+    "MiniGraphArtifacts",
+    "ResultTable",
+    "arithmetic_mean",
+    "comparison_line",
+    "format_percent",
+    "geometric_mean",
+    "CoverageExperimentResult",
+    "Figure5Result",
+    "run_coverage_panel",
+    "run_domain_panel",
+    "run_figure5",
+    "FIGURE6_CONFIGS",
+    "Figure6Result",
+    "run_figure6",
+    "FIGURE7_BENCHMARKS",
+    "BestPolicyResult",
+    "Figure7Result",
+    "run_best_policy",
+    "run_figure7",
+    "FIGURE8_BANDWIDTH_VARIANTS",
+    "FIGURE8_MODES",
+    "FIGURE8_REGISTER_SIZES",
+    "Figure8Result",
+    "run_bandwidth_panel",
+    "run_figure8",
+    "run_register_panel",
+    "ICacheEffectResult",
+    "RobustnessResult",
+    "run_icache_effect",
+    "run_robustness",
+]

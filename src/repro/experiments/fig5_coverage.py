@@ -1,0 +1,121 @@
+"""Experiment E1-E3: mini-graph coverage (Figure 5).
+
+The figure has three panels: application-specific integer mini-graphs,
+application-specific integer-memory mini-graphs, and domain-specific
+integer-memory mini-graphs, each swept over MGT capacity (32, 128, 512, 2K
+entries) and maximum mini-graph size (2, 3, 4, 8 instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..minigraph.coverage import FIGURE5_GRAPH_SIZES, FIGURE5_MGT_SIZES, sweep_coverage
+from ..minigraph.policies import DEFAULT_POLICY, INTEGER_POLICY, SelectionPolicy
+from ..minigraph.selection import select_domain_minigraphs
+from ..workloads import REGISTRY, SUITE_NAMES
+from .reporting import ResultTable, arithmetic_mean
+from .runner import ExperimentRunner
+
+
+@dataclass
+class CoverageExperimentResult:
+    """Coverage tables for one Figure 5 panel."""
+
+    panel: str
+    table: ResultTable
+    by_size_breakdown: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+
+def _suite_of(benchmark: str) -> str:
+    return REGISTRY.get(benchmark).suite
+
+
+def run_coverage_panel(runner: ExperimentRunner, *, integer_only: bool,
+                       benchmarks: Optional[Sequence[str]] = None,
+                       mgt_sizes: Sequence[int] = FIGURE5_MGT_SIZES,
+                       graph_sizes: Sequence[int] = FIGURE5_GRAPH_SIZES
+                       ) -> CoverageExperimentResult:
+    """Application-specific coverage sweep (Figure 5 top or middle panel)."""
+    panel = "integer" if integer_only else "integer-memory"
+    base_policy = INTEGER_POLICY if integer_only else DEFAULT_POLICY
+    names = list(benchmarks) if benchmarks is not None else runner.benchmarks()
+    table = ResultTable(
+        title=f"Figure 5 ({panel}): coverage vs MGT entries / max graph size",
+        columns=[])
+    breakdown: Dict[str, Dict[int, float]] = {}
+    for name in names:
+        artifacts = runner.baseline(name)
+        sweep = sweep_coverage(artifacts.program, artifacts.profile,
+                               base_policy=base_policy,
+                               mgt_sizes=mgt_sizes, graph_sizes=graph_sizes)
+        for cell in sweep.cells:
+            column = f"{cell.mgt_entries}e/{cell.max_graph_size}i"
+            table.add(name, column, cell.coverage, suite=_suite_of(name))
+        reference = sweep.cell(max(mgt_sizes), 4 if 4 in graph_sizes else max(graph_sizes))
+        breakdown[name] = reference.coverage_by_size
+    table.notes.append(
+        "columns are <MGT entries>e/<max mini-graph size>i; values are the fraction "
+        "of dynamic instructions removed from the pipeline")
+    return CoverageExperimentResult(panel=panel, table=table, by_size_breakdown=breakdown)
+
+
+def run_domain_panel(runner: ExperimentRunner, *,
+                     benchmarks: Optional[Sequence[str]] = None,
+                     mgt_sizes: Sequence[int] = (512, 2048),
+                     max_graph_size: int = 4) -> CoverageExperimentResult:
+    """Domain-specific coverage (Figure 5 bottom): one MGT per suite."""
+    names = list(benchmarks) if benchmarks is not None else runner.benchmarks()
+    table = ResultTable(
+        title="Figure 5 (domain-specific integer-memory): coverage with a per-suite MGT",
+        columns=[])
+    for suite in SUITE_NAMES:
+        suite_names = [name for name in names if _suite_of(name) == suite]
+        if not suite_names:
+            continue
+        programs = {}
+        for name in suite_names:
+            artifacts = runner.baseline(name)
+            programs[name] = (artifacts.program, artifacts.profile)
+        for entries in mgt_sizes:
+            policy = DEFAULT_POLICY.with_mgt_entries(entries).with_max_size(max_graph_size)
+            domain = select_domain_minigraphs(programs, suite_name=suite, policy=policy)
+            for name, result in domain.per_program.items():
+                table.add(name, f"domain-{entries}e", result.coverage, suite=suite)
+    table.notes.append("the MGT is shared by every benchmark in the suite")
+    return CoverageExperimentResult(panel="domain", table=table)
+
+
+@dataclass
+class Figure5Result:
+    """All three panels plus the headline per-suite averages."""
+
+    integer: CoverageExperimentResult
+    integer_memory: CoverageExperimentResult
+    domain: CoverageExperimentResult
+
+    def suite_average(self, panel: str, column: str) -> Dict[str, float]:
+        table = {"integer": self.integer, "integer-memory": self.integer_memory,
+                 "domain": self.domain}[panel].table
+        return {suite: arithmetic_mean(table.column_values(column, suite=suite))
+                for suite in SUITE_NAMES
+                if table.column_values(column, suite=suite)}
+
+    def render(self) -> str:
+        return "\n\n".join(table.render(float_format="{:7.3f}") for table in
+                           (self.integer.table, self.integer_memory.table, self.domain.table))
+
+
+def run_figure5(runner: ExperimentRunner, *,
+                benchmarks: Optional[Sequence[str]] = None,
+                mgt_sizes: Sequence[int] = FIGURE5_MGT_SIZES,
+                graph_sizes: Sequence[int] = FIGURE5_GRAPH_SIZES) -> Figure5Result:
+    """Run all three Figure 5 panels."""
+    return Figure5Result(
+        integer=run_coverage_panel(runner, integer_only=True, benchmarks=benchmarks,
+                                   mgt_sizes=mgt_sizes, graph_sizes=graph_sizes),
+        integer_memory=run_coverage_panel(runner, integer_only=False, benchmarks=benchmarks,
+                                          mgt_sizes=mgt_sizes, graph_sizes=graph_sizes),
+        domain=run_domain_panel(runner, benchmarks=benchmarks),
+    )

@@ -1,0 +1,77 @@
+"""Experiment E5: mini-graph performance relative to the baseline (Figure 6).
+
+Four mini-graph machine configurations are compared against the 6-wide
+baseline for every benchmark:
+
+* ``int``           — integer mini-graphs executing on 4-stage ALU pipelines;
+* ``int+collapse``  — the same with pair-wise collapsing ALU pipelines;
+* ``int-mem``           — integer-memory mini-graphs with a sliding-window scheduler;
+* ``int-mem+collapse``  — the same with pair-wise collapsing ALU pipelines.
+
+Baseline IPCs are recorded alongside, as the figure prints them under each
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..minigraph.policies import DEFAULT_POLICY, INTEGER_POLICY
+from ..uarch.config import (
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+)
+from ..workloads import REGISTRY
+from .reporting import ResultTable
+from .runner import ExperimentRunner
+
+#: Column labels, in the order the paper's figure stacks them.
+FIGURE6_CONFIGS = ("int", "int+collapse", "int-mem", "int-mem+collapse")
+
+
+@dataclass
+class Figure6Result:
+    """Relative-performance table plus the baseline IPCs."""
+
+    table: ResultTable
+    baseline_ipc: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [self.table.render()]
+        lines.append("")
+        lines.append("baseline IPCs:")
+        for name in sorted(self.baseline_ipc):
+            lines.append(f"  {name:20s} {self.baseline_ipc[name]:5.2f}")
+        return "\n".join(lines)
+
+
+def run_figure6(runner: ExperimentRunner, *,
+                benchmarks: Optional[Sequence[str]] = None,
+                configs: Sequence[str] = FIGURE6_CONFIGS) -> Figure6Result:
+    """Run the Figure 6 performance comparison."""
+    names = list(benchmarks) if benchmarks is not None else runner.benchmarks()
+    base = baseline_config()
+    table = ResultTable(
+        title="Figure 6: performance relative to the 6-wide baseline",
+        columns=list(configs))
+    result = Figure6Result(table=table)
+
+    for name in names:
+        suite = REGISTRY.get(name).suite
+        baseline_stats = runner.run_baseline(name, base)
+        result.baseline_ipc[name] = baseline_stats.ipc
+        for config_name in configs:
+            collapsing = config_name.endswith("+collapse")
+            if config_name.startswith("int-mem"):
+                policy = DEFAULT_POLICY
+                machine = integer_memory_minigraph_config(collapsing=collapsing)
+            else:
+                policy = INTEGER_POLICY
+                machine = integer_minigraph_config(collapsing=collapsing)
+            speedup = runner.speedup(name, policy, machine, baseline_config=base,
+                                     collapsing=collapsing)
+            table.add(name, config_name, speedup, suite=suite)
+    table.notes.append("values are IPC relative to the baseline (1.0 = no change)")
+    return result

@@ -1,0 +1,139 @@
+"""Experiments E6 and E10: serialization effects (Figure 7) and best-policy gains.
+
+Figure 7 isolates the cost of the two serialization effects and of
+load-induced replays by re-running mini-graph selection with progressively
+more restrictive policies:
+
+* integer mini-graphs: unrestricted, minus externally serial graphs, minus
+  internally serial (i.e. internally parallel) graphs, minus both;
+* integer-memory mini-graphs: unrestricted, minus both serialization forms,
+  and additionally minus replay-vulnerable (interior-load) graphs.
+
+The best-policy experiment (Section 6.2's closing paragraph) picks, per
+benchmark, whichever policy gives the highest speedup and reports the
+resulting per-suite averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..minigraph.policies import DEFAULT_POLICY, INTEGER_POLICY, SelectionPolicy
+from ..uarch.config import (
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+)
+from ..workloads import REGISTRY
+from .reporting import ResultTable, geometric_mean
+from .runner import ExperimentRunner
+
+#: The benchmarks Figure 7 highlights (our closest stand-ins).
+FIGURE7_BENCHMARKS = ("gsm.untoast", "mpeg2.decode", "reed.encode", "mcf", "sha",
+                      "adpcm.encode")
+
+#: (column label, base policy name, policy transform) for each Figure 7 bar.
+_INTEGER_VARIANTS: Sequence[Tuple[str, SelectionPolicy]] = (
+    ("int", INTEGER_POLICY),
+    ("int-noext", INTEGER_POLICY.without_external_serialization()),
+    ("int-noint", INTEGER_POLICY.without_internal_serialization()),
+    ("int-noserial", INTEGER_POLICY.without_external_serialization()
+                                   .without_internal_serialization()),
+)
+
+_MEMORY_VARIANTS: Sequence[Tuple[str, SelectionPolicy]] = (
+    ("int-mem", DEFAULT_POLICY),
+    ("int-mem-noserial", DEFAULT_POLICY.without_external_serialization()
+                                        .without_internal_serialization()),
+    ("int-mem-noserial-noreplay", DEFAULT_POLICY.without_external_serialization()
+                                                 .without_internal_serialization()
+                                                 .without_replay_vulnerable()),
+)
+
+
+@dataclass
+class Figure7Result:
+    """Relative performance for every policy variant."""
+
+    table: ResultTable
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+def run_figure7(runner: ExperimentRunner, *,
+                benchmarks: Optional[Sequence[str]] = None) -> Figure7Result:
+    """Run the Figure 7 serialization study."""
+    names = list(benchmarks) if benchmarks is not None else list(FIGURE7_BENCHMARKS)
+    base = baseline_config()
+    table = ResultTable(
+        title="Figure 7: serialization and replay effects (relative performance)",
+        columns=[label for label, _ in _INTEGER_VARIANTS]
+        + [label for label, _ in _MEMORY_VARIANTS])
+
+    for name in names:
+        suite = REGISTRY.get(name).suite
+        for label, policy in _INTEGER_VARIANTS:
+            machine = integer_minigraph_config()
+            table.add(name, label,
+                      runner.speedup(name, policy, machine, baseline_config=base),
+                      suite=suite)
+        for label, policy in _MEMORY_VARIANTS:
+            machine = integer_memory_minigraph_config()
+            table.add(name, label,
+                      runner.speedup(name, policy, machine, baseline_config=base),
+                      suite=suite)
+    table.notes.append("restrictive policies trade coverage for fewer serialization/replay losses")
+    return Figure7Result(table=table)
+
+
+@dataclass
+class BestPolicyResult:
+    """Per-benchmark best policy and the resulting per-suite average gains."""
+
+    best_policy: Dict[str, str]
+    best_speedup: Dict[str, float]
+    suite_gmean: Dict[str, float]
+
+    def render(self) -> str:
+        lines = ["Best selection policy per benchmark (Section 6.2)"]
+        for name in sorted(self.best_policy):
+            lines.append(f"  {name:20s} {self.best_policy[name]:28s} "
+                         f"{(self.best_speedup[name] - 1.0) * 100.0:+.1f}%")
+        lines.append("per-suite gmean with the best policy per benchmark:")
+        for suite, value in self.suite_gmean.items():
+            lines.append(f"  {suite:10s} {(value - 1.0) * 100.0:+.1f}%")
+        return "\n".join(lines)
+
+
+def run_best_policy(runner: ExperimentRunner, *,
+                    benchmarks: Optional[Sequence[str]] = None) -> BestPolicyResult:
+    """Pick the best serialization/replay policy per benchmark (E10)."""
+    names = list(benchmarks) if benchmarks is not None else runner.benchmarks()
+    base = baseline_config()
+    best_policy: Dict[str, str] = {}
+    best_speedup: Dict[str, float] = {}
+    per_suite: Dict[str, List[float]] = {}
+
+    for name in names:
+        suite = REGISTRY.get(name).suite
+        candidates: List[Tuple[str, float]] = []
+        for label, policy in _INTEGER_VARIANTS:
+            machine = integer_minigraph_config()
+            candidates.append((label, runner.speedup(name, policy, machine,
+                                                     baseline_config=base)))
+        for label, policy in _MEMORY_VARIANTS:
+            machine = integer_memory_minigraph_config()
+            candidates.append((label, runner.speedup(name, policy, machine,
+                                                     baseline_config=base)))
+        label, value = max(candidates, key=lambda item: item[1])
+        best_policy[name] = label
+        best_speedup[name] = value
+        per_suite.setdefault(suite, []).append(value)
+
+    return BestPolicyResult(
+        best_policy=best_policy,
+        best_speedup=best_speedup,
+        suite_gmean={suite: geometric_mean(values) for suite, values in per_suite.items()},
+    )

@@ -1,0 +1,141 @@
+"""Experiments E7 and E8: resource amplification as simplification (Figure 8).
+
+The top panel shrinks the physical register file (164 -> 144 -> 124 -> 104
+registers) and shows that mini-graphs compensate for much of the loss.  The
+bottom panel reduces pipeline bandwidth (4-wide, 4-wide with 6 execution
+units) and pipelines the scheduler (2-cycle wake-up/select), again measuring
+how much of the loss mini-graphs recover.  All values are reported relative
+to the full 6-wide baseline with 164 registers and a single-cycle scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..minigraph.policies import DEFAULT_POLICY, INTEGER_POLICY, SelectionPolicy
+from ..uarch.config import (
+    MachineConfig,
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+)
+from ..workloads import REGISTRY
+from .reporting import ResultTable
+from .runner import ExperimentRunner
+
+#: Register-file sizes swept by the top panel.
+FIGURE8_REGISTER_SIZES = (164, 144, 124, 104)
+
+#: Bandwidth/scheduler variants of the bottom panel.
+FIGURE8_BANDWIDTH_VARIANTS = ("6-wide", "4-wide", "4-wide+6-exec", "2-cycle-sched")
+
+#: Machine flavours compared in every Figure 8 group.
+FIGURE8_MODES = ("baseline", "int", "int-mem")
+
+
+def _mode_machines(base: MachineConfig) -> Dict[str, Tuple[Optional[SelectionPolicy], MachineConfig]]:
+    """Map each Figure 8 mode to (policy, machine) derived from ``base``."""
+    integer_machine = base.with_minigraph_alu_pipelines(2)
+    memory_machine = integer_machine.with_sliding_window()
+    return {
+        "baseline": (None, base),
+        "int": (INTEGER_POLICY, integer_machine),
+        "int-mem": (DEFAULT_POLICY, memory_machine),
+    }
+
+
+@dataclass
+class Figure8Result:
+    """Both panels of Figure 8."""
+
+    register_table: ResultTable
+    bandwidth_table: ResultTable
+
+    def render(self) -> str:
+        return self.register_table.render() + "\n\n" + self.bandwidth_table.render()
+
+
+def _relative_performance(runner: ExperimentRunner, benchmark: str,
+                          policy: Optional[SelectionPolicy], machine: MachineConfig,
+                          reference: MachineConfig) -> float:
+    reference_stats = runner.run_baseline(benchmark, reference)
+    if policy is None:
+        stats = runner.run_baseline(benchmark, machine)
+    else:
+        stats = runner.run_minigraph(benchmark, policy, machine)
+    if reference_stats.ipc == 0.0:
+        return 1.0
+    return stats.ipc / reference_stats.ipc
+
+
+def run_register_panel(runner: ExperimentRunner, *,
+                       benchmarks: Optional[Sequence[str]] = None,
+                       register_sizes: Sequence[int] = FIGURE8_REGISTER_SIZES,
+                       modes: Sequence[str] = FIGURE8_MODES) -> ResultTable:
+    """Figure 8 top: shrinking the physical register file."""
+    names = list(benchmarks) if benchmarks is not None else runner.benchmarks()
+    reference = baseline_config()
+    table = ResultTable(
+        title="Figure 8 (top): performance vs physical register file size "
+              "(relative to the 164-register baseline)",
+        columns=[])
+    for name in names:
+        suite = REGISTRY.get(name).suite
+        for registers in register_sizes:
+            base = baseline_config().with_physical_registers(registers)
+            machines = _mode_machines(base)
+            for mode in modes:
+                policy, machine = machines[mode]
+                column = f"{mode}@{registers}"
+                table.add(name, column,
+                          _relative_performance(runner, name, policy, machine, reference),
+                          suite=suite)
+    table.notes.append("164 registers = 64 architected + 100 in-flight (the baseline)")
+    return table
+
+
+def run_bandwidth_panel(runner: ExperimentRunner, *,
+                        benchmarks: Optional[Sequence[str]] = None,
+                        variants: Sequence[str] = FIGURE8_BANDWIDTH_VARIANTS,
+                        modes: Sequence[str] = FIGURE8_MODES) -> ResultTable:
+    """Figure 8 bottom: narrower pipelines and a pipelined scheduler."""
+    names = list(benchmarks) if benchmarks is not None else runner.benchmarks()
+    reference = baseline_config()
+    variant_bases: Dict[str, MachineConfig] = {
+        "6-wide": baseline_config(),
+        "4-wide": baseline_config().with_width(4, execute_width=4, load_ports=1),
+        "4-wide+6-exec": baseline_config().with_width(4, execute_width=6, load_ports=2),
+        "2-cycle-sched": baseline_config().with_scheduler_latency(2),
+    }
+    table = ResultTable(
+        title="Figure 8 (bottom): reduced bandwidth and pipelined scheduler "
+              "(relative to the 6-wide, 1-cycle-scheduler baseline)",
+        columns=[])
+    for name in names:
+        suite = REGISTRY.get(name).suite
+        for variant in variants:
+            base = variant_bases[variant]
+            machines = _mode_machines(base)
+            for mode in modes:
+                policy, machine = machines[mode]
+                column = f"{mode}@{variant}"
+                table.add(name, column,
+                          _relative_performance(runner, name, policy, machine, reference),
+                          suite=suite)
+    table.notes.append("the 4-wide machine fetches/renames/retires 4 per cycle; "
+                       "4-wide+6-exec keeps six execution units and two load ports")
+    return table
+
+
+def run_figure8(runner: ExperimentRunner, *,
+                benchmarks: Optional[Sequence[str]] = None,
+                register_sizes: Sequence[int] = FIGURE8_REGISTER_SIZES,
+                variants: Sequence[str] = FIGURE8_BANDWIDTH_VARIANTS) -> Figure8Result:
+    """Run both Figure 8 panels."""
+    return Figure8Result(
+        register_table=run_register_panel(runner, benchmarks=benchmarks,
+                                          register_sizes=register_sizes),
+        bandwidth_table=run_bandwidth_panel(runner, benchmarks=benchmarks,
+                                            variants=variants),
+    )

@@ -1,0 +1,147 @@
+"""Shared experiment runner with artifact caching.
+
+Every figure of the evaluation needs the same building blocks per benchmark:
+the assembled program, its basic-block profile, a baseline trace, and — for
+each mini-graph policy — the selection, the MGT, the rewritten program and
+its trace.  Building them is the expensive part, so the runner caches them
+and every experiment harness reuses one runner instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..minigraph.mgt import MgtBuildOptions, MiniGraphTable
+from ..minigraph.policies import SelectionPolicy
+from ..minigraph.selection import SelectionResult, select_minigraphs
+from ..program.profile import BlockProfile
+from ..program.program import Program
+from ..program.rewriter import rewrite_program
+from ..sim.functional import run_program
+from ..sim.trace import Trace
+from ..uarch.config import MachineConfig
+from ..uarch.pipeline import simulate_program
+from ..uarch.stats import PipelineStats
+from ..workloads import REGISTRY, load_benchmark
+
+
+@dataclass
+class BaselineArtifacts:
+    """Cached per-benchmark baseline products."""
+
+    program: Program
+    profile: BlockProfile
+    trace: Trace
+
+
+@dataclass
+class MiniGraphArtifacts:
+    """Cached per-benchmark, per-policy mini-graph products."""
+
+    selection: SelectionResult
+    mgt: MiniGraphTable
+    program: Program
+    trace: Trace
+
+
+def _policy_key(policy: SelectionPolicy) -> Tuple:
+    return (policy.max_size, policy.allow_memory, policy.allow_branches,
+            policy.allow_externally_serial, policy.allow_internally_parallel,
+            policy.allow_interior_loads, policy.max_templates)
+
+
+class ExperimentRunner:
+    """Builds and caches everything the experiment harnesses need."""
+
+    def __init__(self, *, budget: int = 15_000, input_name: str = "reference") -> None:
+        self._budget = budget
+        self._input_name = input_name
+        self._baseline: Dict[str, BaselineArtifacts] = {}
+        self._minigraph: Dict[Tuple, MiniGraphArtifacts] = {}
+        self._timing: Dict[Tuple, PipelineStats] = {}
+
+    @property
+    def budget(self) -> int:
+        return self._budget
+
+    @property
+    def input_name(self) -> str:
+        return self._input_name
+
+    # -- artifact construction ------------------------------------------------------
+
+    def baseline(self, benchmark: str) -> BaselineArtifacts:
+        """Assemble, profile and trace ``benchmark`` without mini-graphs."""
+        if benchmark not in self._baseline:
+            program = load_benchmark(benchmark, self._input_name)
+            result = run_program(program, max_instructions=self._budget)
+            self._baseline[benchmark] = BaselineArtifacts(
+                program=program, profile=result.profile, trace=result.trace)
+        return self._baseline[benchmark]
+
+    def minigraph(self, benchmark: str, policy: SelectionPolicy, *,
+                  collapsing: bool = False) -> MiniGraphArtifacts:
+        """Select, rewrite and trace ``benchmark`` under ``policy``.
+
+        ``collapsing`` selects pair-wise collapsing ALU pipelines, which only
+        changes how the MGT lays out its execution banks (the selection and
+        the rewritten binary are identical).
+        """
+        key = (benchmark, _policy_key(policy), collapsing)
+        if key not in self._minigraph:
+            baseline = self.baseline(benchmark)
+            selection = select_minigraphs(baseline.program, baseline.profile, policy=policy)
+            options = MgtBuildOptions(collapsing=collapsing)
+            mgt = MiniGraphTable.from_selection(selection, options)
+            rewritten = rewrite_program(baseline.program, selection.rewrite_sites())
+            result = run_program(rewritten.program, mgt=mgt,
+                                 max_instructions=self._budget)
+            self._minigraph[key] = MiniGraphArtifacts(
+                selection=selection, mgt=mgt, program=rewritten.program,
+                trace=result.trace)
+        return self._minigraph[key]
+
+    # -- timing runs ------------------------------------------------------------------
+
+    def run_baseline(self, benchmark: str, config: MachineConfig) -> PipelineStats:
+        """Timing-simulate the unmodified benchmark on ``config``."""
+        key = ("baseline", benchmark, config.name)
+        if key not in self._timing:
+            artifacts = self.baseline(benchmark)
+            self._timing[key] = simulate_program(artifacts.program, artifacts.trace, config)
+        return self._timing[key]
+
+    def run_minigraph(self, benchmark: str, policy: SelectionPolicy,
+                      config: MachineConfig, *, collapsing: bool = False,
+                      compressed_layout: bool = False) -> PipelineStats:
+        """Timing-simulate the rewritten benchmark on a mini-graph machine."""
+        key = ("minigraph", benchmark, _policy_key(policy), config.name,
+               collapsing, compressed_layout)
+        if key not in self._timing:
+            artifacts = self.minigraph(benchmark, policy, collapsing=collapsing)
+            self._timing[key] = simulate_program(
+                artifacts.program, artifacts.trace, config, mgt=artifacts.mgt,
+                compressed_layout=compressed_layout)
+        return self._timing[key]
+
+    def speedup(self, benchmark: str, policy: SelectionPolicy,
+                config: MachineConfig, *, baseline_config: MachineConfig,
+                collapsing: bool = False,
+                compressed_layout: bool = False) -> float:
+        """Relative performance of the mini-graph machine over the baseline."""
+        baseline = self.run_baseline(benchmark, baseline_config)
+        minigraph = self.run_minigraph(benchmark, policy, config,
+                                       collapsing=collapsing,
+                                       compressed_layout=compressed_layout)
+        if baseline.ipc == 0.0:
+            return 1.0
+        return minigraph.ipc / baseline.ipc
+
+    # -- benchmark enumeration -----------------------------------------------------------
+
+    @staticmethod
+    def benchmarks(suite: Optional[str] = None, *, limit: Optional[int] = None) -> List[str]:
+        """Benchmark names, optionally restricted to a suite and truncated."""
+        names = REGISTRY.names(suite)
+        return names[:limit] if limit is not None else names

@@ -1,0 +1,319 @@
+"""A small two-pass assembler for the MGA ISA.
+
+The workload kernels (:mod:`repro.workloads`) are written in textual assembly
+because that keeps them readable and close to the compiler output the paper
+profiles.  The assembler supports:
+
+* labels (``loop:``), comments (``# ...`` and ``; ...``), blank lines;
+* the operand syntaxes produced by :func:`repro.isa.instruction.format_instruction`,
+  so ``assemble(disassemble(p))`` round-trips;
+* ``.data name value...`` and ``.space name words`` directives that allocate
+  quadwords in the data segment and define a label for their base address;
+* pseudo-ops: ``ldi rd, value`` (load immediate of arbitrary width), ``mov
+  rd, rs``, ``clr rd`` and ``la rd, label`` (load a data-segment address).
+
+The assembler output is an :class:`AssembledUnit` which the program model
+(:mod:`repro.program`) turns into a :class:`~repro.program.program.Program`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .instruction import INSTRUCTION_BYTES, Instruction
+from .opcodes import OpClass, has_opcode, opcode
+from .registers import ZERO_REG, parse_reg
+
+#: Default base address of the text (code) segment.
+TEXT_BASE = 0x1000
+#: Default base address of the data segment.
+DATA_BASE = 0x100000
+#: Bytes per data word.
+WORD_BYTES = 8
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None,
+                 line: Optional[str] = None) -> None:
+        location = f" (line {line_number}: {line!r})" if line_number else ""
+        super().__init__(message + location)
+        self.line_number = line_number
+        self.line = line
+
+
+@dataclass
+class AssembledUnit:
+    """Result of assembling one source file.
+
+    Attributes:
+        instructions: the text segment, in order.
+        labels: code label -> instruction index.
+        data: data segment contents, address -> 64-bit value.
+        data_labels: data label -> base address.
+        text_base: base PC of the first instruction.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, int] = field(default_factory=dict)
+    data_labels: Dict[str, int] = field(default_factory=dict)
+    text_base: int = TEXT_BASE
+
+    def label_pc(self, label: str) -> int:
+        """Return the PC of a code label."""
+        return self.text_base + self.labels[label] * INSTRUCTION_BYTES
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(text: str, line_number: int, line: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"malformed integer {text!r}", line_number, line) from exc
+
+
+def _split_operands(text: str) -> List[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+class Assembler:
+    """Two-pass assembler producing an :class:`AssembledUnit`."""
+
+    def __init__(self, text_base: int = TEXT_BASE, data_base: int = DATA_BASE) -> None:
+        self._text_base = text_base
+        self._data_base = data_base
+
+    def assemble(self, source: str) -> AssembledUnit:
+        """Assemble ``source`` and return the assembled unit.
+
+        Raises:
+            AssemblerError: on any syntax or semantic error, with the
+                offending line number attached.
+        """
+        unit = AssembledUnit(text_base=self._text_base)
+        pending: List[Tuple[int, str, str]] = []  # (line number, line, statement)
+        data_cursor = self._data_base
+
+        # Pass 1: collect labels, data directives and instruction statements.
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw_line)
+            if not line:
+                continue
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not _LABEL_RE.match(label):
+                    raise AssemblerError(f"malformed label {label!r}", line_number, raw_line)
+                if label in unit.labels or label in unit.data_labels:
+                    raise AssemblerError(f"duplicate label {label!r}", line_number, raw_line)
+                unit.labels[label] = len(pending)
+                line = rest.strip()
+            if not line:
+                continue
+            if line.startswith(".data") or line.startswith(".space"):
+                data_cursor = self._handle_data_directive(
+                    unit, line, data_cursor, line_number, raw_line)
+                continue
+            pending.append((line_number, raw_line, line))
+
+        # Pass 2: encode instructions with all labels known.
+        for index, (line_number, raw_line, statement) in enumerate(pending):
+            for insn in self._encode_statement(unit, statement, line_number, raw_line):
+                unit.instructions.append(insn)
+        # Data labels may have been used by pseudo-op `la`, resolved during
+        # encoding; code label targets remain symbolic and are resolved by the
+        # Program constructor (which knows final PCs).
+        self._validate_targets(unit)
+        return unit
+
+    # -- directives ----------------------------------------------------------
+
+    def _handle_data_directive(self, unit: AssembledUnit, line: str, cursor: int,
+                               line_number: int, raw_line: str) -> int:
+        parts = line.split()
+        directive = parts[0]
+        if len(parts) < 3:
+            raise AssemblerError(f"{directive} requires a name and at least one value",
+                                 line_number, raw_line)
+        name = parts[1]
+        if not _LABEL_RE.match(name):
+            raise AssemblerError(f"malformed data label {name!r}", line_number, raw_line)
+        if name in unit.data_labels or name in unit.labels:
+            raise AssemblerError(f"duplicate label {name!r}", line_number, raw_line)
+        unit.data_labels[name] = cursor
+        if directive == ".data":
+            values = [_parse_int(token.rstrip(","), line_number, raw_line)
+                      for token in parts[2:]]
+            for offset, value in enumerate(values):
+                unit.data[cursor + offset * WORD_BYTES] = value
+            return cursor + len(values) * WORD_BYTES
+        if directive == ".space":
+            count = _parse_int(parts[2], line_number, raw_line)
+            if count <= 0:
+                raise AssemblerError(".space size must be positive", line_number, raw_line)
+            for offset in range(count):
+                unit.data.setdefault(cursor + offset * WORD_BYTES, 0)
+            return cursor + count * WORD_BYTES
+        raise AssemblerError(f"unknown directive {directive!r}", line_number, raw_line)
+
+    # -- statements ----------------------------------------------------------
+
+    def _encode_statement(self, unit: AssembledUnit, statement: str,
+                          line_number: int, raw_line: str) -> List[Instruction]:
+        mnemonic, _, operand_text = statement.partition(" ")
+        mnemonic = mnemonic.strip().lower()
+        operands = _split_operands(operand_text.strip())
+
+        pseudo = self._expand_pseudo(unit, mnemonic, operands, line_number, raw_line)
+        if pseudo is not None:
+            return pseudo
+        if not has_opcode(mnemonic):
+            raise AssemblerError(f"unknown opcode {mnemonic!r}", line_number, raw_line)
+        return [self._encode_instruction(mnemonic, operands, line_number, raw_line)]
+
+    def _expand_pseudo(self, unit: AssembledUnit, mnemonic: str, operands: List[str],
+                       line_number: int, raw_line: str) -> Optional[List[Instruction]]:
+        if mnemonic == "ldi":
+            if len(operands) != 2:
+                raise AssemblerError("ldi requires rd, value", line_number, raw_line)
+            rd = parse_reg(operands[0])
+            value = _parse_int(operands[1], line_number, raw_line)
+            return [Instruction("lda", rd=rd, rs1=ZERO_REG, imm=value)]
+        if mnemonic == "la":
+            if len(operands) != 2:
+                raise AssemblerError("la requires rd, data-label", line_number, raw_line)
+            rd = parse_reg(operands[0])
+            label = operands[1]
+            if label not in unit.data_labels:
+                raise AssemblerError(f"unknown data label {label!r}", line_number, raw_line)
+            return [Instruction("lda", rd=rd, rs1=ZERO_REG, imm=unit.data_labels[label])]
+        if mnemonic == "mov":
+            if len(operands) != 2:
+                raise AssemblerError("mov requires rd, rs", line_number, raw_line)
+            rd = parse_reg(operands[0])
+            rs = parse_reg(operands[1])
+            return [Instruction("bis", rd=rd, rs1=rs, rs2=ZERO_REG)]
+        if mnemonic == "clr":
+            if len(operands) != 1:
+                raise AssemblerError("clr requires rd", line_number, raw_line)
+            rd = parse_reg(operands[0])
+            return [Instruction("bis", rd=rd, rs1=ZERO_REG, rs2=ZERO_REG)]
+        return None
+
+    def _encode_instruction(self, mnemonic: str, operands: List[str],
+                            line_number: int, raw_line: str) -> Instruction:
+        spec = opcode(mnemonic)
+        try:
+            if spec.op_class is OpClass.NOP:
+                return Instruction("nop")
+            if spec.op_class is OpClass.HALT:
+                return Instruction("halt")
+            if spec.op_class is OpClass.MG:
+                return self._encode_handle(operands, line_number, raw_line)
+            if spec.is_load:
+                rd = parse_reg(operands[0])
+                imm, base = self._parse_mem_operand(operands[1], line_number, raw_line)
+                return Instruction(mnemonic, rd=rd, rs1=base, imm=imm)
+            if spec.is_store:
+                value = parse_reg(operands[0])
+                imm, base = self._parse_mem_operand(operands[1], line_number, raw_line)
+                return Instruction(mnemonic, rs1=base, rs2=value, imm=imm)
+            if spec.op_class is OpClass.BRANCH:
+                rs1 = parse_reg(operands[0])
+                return Instruction(mnemonic, rs1=rs1, target=operands[1])
+            if spec.op_class is OpClass.JUMP:
+                return Instruction(mnemonic, target=operands[0])
+            if spec.op_class is OpClass.CALL:
+                rd = parse_reg(operands[0])
+                return Instruction(mnemonic, rd=rd, target=operands[1])
+            if spec.op_class is OpClass.INDIRECT:
+                rs1 = parse_reg(operands[0])
+                return Instruction(mnemonic, rs1=rs1)
+            return self._encode_alu(mnemonic, operands, line_number, raw_line)
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, AssemblerError):
+                raise
+            raise AssemblerError(f"malformed operands for {mnemonic}: {exc}",
+                                 line_number, raw_line) from exc
+
+    def _encode_alu(self, mnemonic: str, operands: List[str],
+                    line_number: int, raw_line: str) -> Instruction:
+        spec = opcode(mnemonic)
+        expected = int(spec.reads_rs1) + int(spec.reads_rs2) + int(spec.has_imm) \
+            + int(spec.writes_rd)
+        if len(operands) != expected:
+            raise AssemblerError(
+                f"{mnemonic} expects {expected} operands, got {len(operands)}",
+                line_number, raw_line)
+        cursor = 0
+        rs1 = rs2 = rd = imm = None
+        if spec.reads_rs1:
+            rs1 = parse_reg(operands[cursor])
+            cursor += 1
+        if spec.reads_rs2:
+            rs2 = parse_reg(operands[cursor])
+            cursor += 1
+        if spec.has_imm:
+            imm = _parse_int(operands[cursor], line_number, raw_line)
+            cursor += 1
+        if spec.writes_rd:
+            rd = parse_reg(operands[cursor])
+            cursor += 1
+        return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+    def _encode_handle(self, operands: List[str], line_number: int,
+                       raw_line: str) -> Instruction:
+        if len(operands) != 4:
+            raise AssemblerError("mg requires rs1, rs2, rd, mgid", line_number, raw_line)
+        def reg_or_none(text: str) -> int:
+            if text in ("-", "_"):
+                return ZERO_REG
+            return parse_reg(text)
+        rs1 = reg_or_none(operands[0])
+        rs2 = reg_or_none(operands[1])
+        rd = reg_or_none(operands[2])
+        mgid = _parse_int(operands[3], line_number, raw_line)
+        return Instruction("mg", rd=rd, rs1=rs1, rs2=rs2, imm=mgid)
+
+    def _parse_mem_operand(self, text: str, line_number: int,
+                           raw_line: str) -> Tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(text.replace(" ", ""))
+        if not match:
+            raise AssemblerError(f"malformed memory operand {text!r}", line_number, raw_line)
+        displacement = _parse_int(match.group(1), line_number, raw_line)
+        base = parse_reg(match.group(2))
+        return displacement, base
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate_targets(self, unit: AssembledUnit) -> None:
+        known = set(unit.labels)
+        for index, insn in enumerate(unit.instructions):
+            if insn.is_direct_control and insn.target is not None:
+                if insn.target not in known:
+                    raise AssemblerError(
+                        f"undefined branch target {insn.target!r} "
+                        f"(instruction {index}: {insn})")
+
+
+def assemble(source: str, text_base: int = TEXT_BASE,
+             data_base: int = DATA_BASE) -> AssembledUnit:
+    """Assemble ``source`` with default bases; convenience wrapper."""
+    return Assembler(text_base=text_base, data_base=data_base).assemble(source)

@@ -1,0 +1,119 @@
+"""Bit-level encoding of MGA instructions and mini-graph handles.
+
+The simulators operate on :class:`~repro.isa.instruction.Instruction`
+objects, but the handle format matters to the paper: a handle must fit in a
+normal fixed-width instruction word (reserved opcode, two source specifiers,
+one destination specifier, and an immediate MGID field).  This module
+provides an encoder/decoder pair so that tests can verify the handle format
+actually fits, and so the binary rewriter can report static code size.
+
+Encoding layout (32 bits)::
+
+    [31:26] opcode index        (6 bits, up to 64 opcodes per group)
+    [25:24] opcode group        (2 bits)
+    [23:18] rd                  (6 bits, 64 architected registers)
+    [17:12] rs1                 (6 bits)
+    [11: 6] rs2                 (6 bits)
+    [ 5: 0] short immediate     (6 bits)
+
+Instructions whose immediate does not fit in 6 bits are encoded as two words
+(an ``extended`` encoding); the handle's MGID field is 11 bits wide (2K MGT
+entries, the largest configuration the paper evaluates), borrowing the rs2
+field, since a handle has at most two explicit sources and the MGID replaces
+the short immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .instruction import Instruction
+from .opcodes import all_opcodes
+from .registers import ZERO_REG
+
+#: Maximum MGID encodable in a handle (11 bits -> 2048 entries).
+MAX_MGID = 2047
+#: Short immediates fit in a signed 6-bit field.
+_SHORT_IMM_MIN = -32
+_SHORT_IMM_MAX = 31
+
+_OPCODE_INDEX: Dict[str, int] = {name: i for i, name in enumerate(sorted(all_opcodes()))}
+_INDEX_OPCODE: Dict[int, str] = {i: name for name, i in _OPCODE_INDEX.items()}
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded."""
+
+
+@dataclass(frozen=True)
+class EncodedInstruction:
+    """One encoded instruction: a primary word plus optional immediate word."""
+
+    word: int
+    extension: int | None = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Static size of the encoding in bytes."""
+        return 4 if self.extension is None else 8
+
+
+def _field(value: int, width: int) -> int:
+    mask = (1 << width) - 1
+    return value & mask
+
+
+def encode_instruction(insn: Instruction) -> EncodedInstruction:
+    """Encode an instruction into its binary form.
+
+    Handles are always single-word; other instructions become two words when
+    their immediate exceeds the short-immediate range.
+    """
+    opcode_index = _OPCODE_INDEX[insn.op]
+    rd = insn.rd if insn.rd is not None else ZERO_REG
+    rs1 = insn.rs1 if insn.rs1 is not None else ZERO_REG
+    rs2 = insn.rs2 if insn.rs2 is not None else ZERO_REG
+    imm = insn.imm if insn.imm is not None else 0
+
+    if insn.is_handle:
+        if not 0 <= imm <= MAX_MGID:
+            raise EncodingError(
+                f"MGID {imm} does not fit in the {MAX_MGID + 1}-entry handle field")
+        word = (_field(opcode_index, 8) << 24) | (_field(rd, 6) << 18) \
+            | (_field(rs1, 6) << 12) | (_field(imm, 11) << 1) | 1
+        return EncodedInstruction(word=word)
+
+    short = _SHORT_IMM_MIN <= imm <= _SHORT_IMM_MAX
+    word = (_field(opcode_index, 8) << 24) | (_field(rd, 6) << 18) \
+        | (_field(rs1, 6) << 12) | (_field(rs2, 6) << 6) \
+        | (_field(imm if short else 0, 6))
+    extension = None if short else imm & 0xFFFFFFFF
+    return EncodedInstruction(word=word, extension=extension)
+
+
+def decode_opcode(encoded: EncodedInstruction) -> str:
+    """Recover the mnemonic from an encoded instruction."""
+    index = (encoded.word >> 24) & 0xFF
+    if index not in _INDEX_OPCODE:
+        raise EncodingError(f"unknown opcode index {index}")
+    return _INDEX_OPCODE[index]
+
+
+def decode_handle(encoded: EncodedInstruction) -> Tuple[int, int, int, int]:
+    """Decode a handle word into ``(rs1, rs2, rd, mgid)``.
+
+    Handles encode rs2 implicitly as the zero register when absent; callers
+    that need the true interface width should consult the MGT.
+    """
+    if not encoded.word & 1:
+        raise EncodingError("not a handle encoding")
+    rd = (encoded.word >> 18) & 0x3F
+    rs1 = (encoded.word >> 12) & 0x3F
+    mgid = (encoded.word >> 1) & 0x7FF
+    return rs1, ZERO_REG, rd, mgid
+
+
+def static_code_bytes(instructions: List[Instruction]) -> int:
+    """Total static code size of ``instructions`` using this encoding."""
+    return sum(encode_instruction(insn).size_bytes for insn in instructions)

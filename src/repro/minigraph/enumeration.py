@@ -1,0 +1,403 @@
+"""Enumeration of legal mini-graph candidates within basic blocks.
+
+This implements the first stage of the paper's selection flow: analyse the
+static executable and enumerate all possible legal mini-graphs.  Enumeration
+works one basic block at a time (atomicity restricts mini-graphs to basic
+blocks) and grows connected subgraphs of the block-local dependence graph up
+to a maximum size.
+
+Legality testing goes beyond the interface (two register inputs, one register
+output) and composition (one memory operation, terminal control transfer)
+conditions: because member instructions are collapsed around a statically
+chosen *anchor* (branch > memory operation > last instruction), the collapse
+must not change execution semantics.  The interference check rejects
+candidates whose members cannot be moved to the anchor position past the
+intervening non-member instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+from ..program.basic_block import BasicBlock, BlockIndex
+from ..program.cfg import ControlFlowGraph
+from ..program.liveness import LivenessInfo, analyze_liveness
+from ..program.program import Program
+from .candidates import MiniGraphCandidate
+from .templates import (
+    MAX_EXTERNAL_INPUTS,
+    MiniGraphTemplate,
+    OperandRef,
+    TemplateError,
+    TemplateInstruction,
+    external,
+    immediate,
+    internal,
+    zero,
+)
+
+
+@dataclass
+class EnumerationLimits:
+    """Bounds on the enumeration search.
+
+    Attributes:
+        max_size: maximum number of instructions per mini-graph (paper sweeps
+            2, 3, 4 and 8; the main results use 4).
+        allow_memory: include loads/stores (integer-memory mini-graphs).
+        allow_branches: include terminal control transfers.
+        max_candidates_per_block: safety valve on pathological blocks.
+    """
+
+    max_size: int = 4
+    allow_memory: bool = True
+    allow_branches: bool = True
+    max_candidates_per_block: int = 4096
+
+
+@dataclass
+class _BlockContext:
+    """Pre-computed per-block information shared by all candidate checks."""
+
+    block: BasicBlock
+    eligible: List[int]                     # block-local positions eligible for membership
+    def_position: Dict[int, List[int]]      # register -> positions that define it
+    reads: Dict[int, Tuple[int, ...]]       # position -> registers read
+    writes: Dict[int, Optional[int]]        # position -> register written (or None)
+    most_recent_def: Dict[Tuple[int, int], Optional[int]]  # (position, reg) -> defining position
+    live_after_block: FrozenSet[int]
+
+
+class MiniGraphEnumerator:
+    """Enumerates legal mini-graph candidates for one program."""
+
+    def __init__(self, program: Program, limits: Optional[EnumerationLimits] = None) -> None:
+        self._program = program
+        self._limits = limits or EnumerationLimits()
+        self._cfg = ControlFlowGraph(program)
+        self._liveness = analyze_liveness(self._cfg)
+
+    @property
+    def limits(self) -> EnumerationLimits:
+        return self._limits
+
+    @property
+    def block_index(self) -> BlockIndex:
+        return self._cfg.block_index
+
+    # -- public API ----------------------------------------------------------
+
+    def enumerate(self) -> List[MiniGraphCandidate]:
+        """Enumerate all legal candidates in the whole program."""
+        candidates: List[MiniGraphCandidate] = []
+        for block in self._cfg.block_index.blocks:
+            candidates.extend(self.enumerate_block(block))
+        return candidates
+
+    def enumerate_block(self, block: BasicBlock) -> List[MiniGraphCandidate]:
+        """Enumerate all legal candidates within one basic block."""
+        context = self._build_context(block)
+        if len(context.eligible) < 2:
+            return []
+        subsets = self._connected_subsets(context)
+        candidates: List[MiniGraphCandidate] = []
+        for subset in subsets:
+            candidate = self._try_build_candidate(context, subset)
+            if candidate is not None:
+                candidates.append(candidate)
+            if len(candidates) >= self._limits.max_candidates_per_block:
+                break
+        return candidates
+
+    # -- per-block pre-computation --------------------------------------------
+
+    #: Conditional moves read their destination register implicitly, which the
+    #: interface analysis does not model; they stay singletons.
+    _INELIGIBLE_OPS = frozenset({"cmovne", "cmoveq"})
+
+    def _is_eligible(self, insn: Instruction, position: int, block: BasicBlock) -> bool:
+        spec = insn.spec
+        if insn.is_nop or insn.is_handle:
+            return False
+        if insn.op in self._INELIGIBLE_OPS:
+            return False
+        if not spec.minigraph_eligible:
+            return False
+        if spec.is_memory and not self._limits.allow_memory:
+            return False
+        if spec.is_control:
+            if not self._limits.allow_branches:
+                return False
+            # Control transfers must be terminal: only the block's last
+            # instruction qualifies, and indirect transfers / calls never do
+            # (minigraph_eligible already excludes them).
+            if position != len(block.instructions) - 1:
+                return False
+        return True
+
+    def _build_context(self, block: BasicBlock) -> _BlockContext:
+        eligible = [position for position, insn in enumerate(block.instructions)
+                    if self._is_eligible(insn, position, block)]
+        def_position: Dict[int, List[int]] = {}
+        reads: Dict[int, Tuple[int, ...]] = {}
+        writes: Dict[int, Optional[int]] = {}
+        for position, insn in enumerate(block.instructions):
+            reads[position] = insn.source_registers()
+            dest = insn.destination_register()
+            writes[position] = dest
+            if dest is not None:
+                def_position.setdefault(dest, []).append(position)
+
+        most_recent_def: Dict[Tuple[int, int], Optional[int]] = {}
+        last_def: Dict[int, int] = {}
+        for position, insn in enumerate(block.instructions):
+            for reg in reads[position]:
+                most_recent_def[(position, reg)] = last_def.get(reg)
+            dest = writes[position]
+            if dest is not None:
+                last_def[dest] = position
+
+        return _BlockContext(
+            block=block,
+            eligible=eligible,
+            def_position=def_position,
+            reads=reads,
+            writes=writes,
+            most_recent_def=most_recent_def,
+            live_after_block=self._liveness.live_out.get(block.block_id, frozenset()),
+        )
+
+    # -- connected subset enumeration -----------------------------------------
+
+    def _dependence_neighbours(self, context: _BlockContext) -> Dict[int, Set[int]]:
+        """Undirected block-local true-dependence adjacency among eligible positions."""
+        neighbours: Dict[int, Set[int]] = {position: set() for position in context.eligible}
+        eligible_set = set(context.eligible)
+        for position in context.eligible:
+            for reg in context.reads[position]:
+                producer = context.most_recent_def.get((position, reg))
+                if producer is not None and producer in eligible_set:
+                    neighbours[position].add(producer)
+                    neighbours[producer].add(position)
+        return neighbours
+
+    def _connected_subsets(self, context: _BlockContext) -> List[Tuple[int, ...]]:
+        """Enumerate connected subsets (size 2..max_size) of the dependence graph.
+
+        Uses the standard "anchor at the smallest member" expansion so every
+        connected subset is produced exactly once.
+        """
+        neighbours = self._dependence_neighbours(context)
+        max_size = self._limits.max_size
+        results: List[Tuple[int, ...]] = []
+        limit = self._limits.max_candidates_per_block * 4
+
+        def expand(current: Set[int], frontier: Set[int], forbidden: Set[int]) -> None:
+            if len(results) >= limit:
+                return
+            if 2 <= len(current) <= max_size:
+                results.append(tuple(sorted(current)))
+            if len(current) >= max_size:
+                return
+            frontier_list = sorted(frontier)
+            local_forbidden = set(forbidden)
+            for node in frontier_list:
+                new_frontier = (frontier | neighbours[node]) - current - {node} - local_forbidden
+                expand(current | {node}, new_frontier, local_forbidden)
+                local_forbidden.add(node)
+
+        for seed in context.eligible:
+            forbidden = {node for node in context.eligible if node < seed}
+            expand({seed}, neighbours[seed] - forbidden, forbidden)
+            if len(results) >= limit:
+                break
+        return results
+
+    # -- candidate construction and legality ----------------------------------
+
+    def _choose_anchor(self, context: _BlockContext, members: Sequence[int]) -> int:
+        """Anchor preference: branch, then memory operation, then last member."""
+        for position in members:
+            if context.block.instructions[position].is_control:
+                return position
+        for position in members:
+            if context.block.instructions[position].is_memory:
+                return position
+        return max(members)
+
+    def _try_build_candidate(self, context: _BlockContext,
+                             members: Tuple[int, ...]) -> Optional[MiniGraphCandidate]:
+        block = context.block
+        instructions = [block.instructions[position] for position in members]
+
+        memory_count = sum(1 for insn in instructions if insn.is_memory)
+        if memory_count > 1:
+            return None
+        control_count = sum(1 for insn in instructions if insn.is_control)
+        if control_count > 1:
+            return None
+        if control_count == 1 and not instructions[-1].is_control:
+            return None
+
+        interface = self._interface_registers(context, members)
+        if interface is None:
+            return None
+        input_regs, output_reg, out_member = interface
+
+        anchor = self._choose_anchor(context, members)
+        if not self._movement_is_legal(context, members, anchor):
+            return None
+
+        template = self._build_template(context, members, input_regs, out_member)
+        if template is None:
+            return None
+
+        return MiniGraphCandidate(
+            block_id=block.block_id,
+            member_indices=tuple(block.start_index + position for position in members),
+            anchor_index=block.start_index + anchor,
+            template=template,
+            input_regs=input_regs,
+            output_reg=output_reg,
+        )
+
+    def _interface_registers(self, context: _BlockContext, members: Tuple[int, ...]
+                             ) -> Optional[Tuple[Tuple[int, ...], Optional[int], Optional[int]]]:
+        """Compute (input_regs, output_reg, out_member) or None if illegal.
+
+        *Inputs* are registers read by members whose most recent definition is
+        not another member.  *Outputs* are member-produced values that are
+        observable outside the graph: read later in the block by a non-member
+        before redefinition, or reaching the block end while the register is
+        live-out.  At most two inputs and one output are allowed.
+        """
+        member_set = set(members)
+        block = context.block
+        input_regs: List[int] = []
+        for position in members:
+            for reg in context.reads[position]:
+                producer = context.most_recent_def.get((position, reg))
+                if producer is not None and producer in member_set:
+                    continue
+                if reg not in input_regs:
+                    input_regs.append(reg)
+        if len(input_regs) > MAX_EXTERNAL_INPUTS:
+            return None
+
+        output_reg: Optional[int] = None
+        out_member: Optional[int] = None
+        block_length = len(block.instructions)
+        for position in members:
+            dest = context.writes[position]
+            if dest is None:
+                continue
+            visible = False
+            redefined = False
+            for later in range(position + 1, block_length):
+                if later not in member_set and dest in context.reads[later]:
+                    visible = True
+                    break
+                if context.writes[later] == dest:
+                    # Redefinition kills this value before any external use in
+                    # the block; redefinitions by later members do not make the
+                    # value external either.
+                    redefined = True
+                    break
+            if not visible and not redefined and dest in context.live_after_block:
+                visible = True
+            if visible:
+                if output_reg is not None and (output_reg != dest or out_member != position):
+                    return None
+                output_reg = dest
+                out_member = position
+        return tuple(input_regs), output_reg, out_member
+
+    def _movement_is_legal(self, context: _BlockContext, members: Tuple[int, ...],
+                           anchor: int) -> bool:
+        """Check that collapsing all members at ``anchor`` preserves semantics.
+
+        A member moving across an intervening non-member must not have a true,
+        anti or output register dependence with it, and memory members must
+        not cross other memory operations (conservative no-alias assumption).
+        """
+        member_set = set(members)
+        block = context.block
+        for position in members:
+            if position == anchor:
+                continue
+            low, high = (position, anchor) if position < anchor else (anchor, position)
+            member_reads = set(context.reads[position])
+            member_write = context.writes[position]
+            member_is_memory = block.instructions[position].is_memory
+            for between in range(low + 1, high):
+                if between in member_set:
+                    continue
+                other = block.instructions[between]
+                other_write = context.writes[between]
+                other_reads = set(context.reads[between])
+                if other_write is not None and other_write in member_reads:
+                    return False
+                if member_write is not None and member_write in other_reads:
+                    return False
+                if member_write is not None and member_write == other_write:
+                    return False
+                if member_is_memory and other.is_memory:
+                    return False
+                if other.is_control:
+                    # Should not happen inside a block, but never hoist across
+                    # a control transfer.
+                    return False
+        return True
+
+    def _build_template(self, context: _BlockContext, members: Tuple[int, ...],
+                        input_regs: Tuple[int, ...],
+                        out_member: Optional[int]) -> Optional[MiniGraphTemplate]:
+        member_set = set(members)
+        position_to_slot = {position: slot for slot, position in enumerate(members)}
+        input_index = {reg: index for index, reg in enumerate(input_regs)}
+        template_instructions: List[TemplateInstruction] = []
+
+        for position in members:
+            insn = context.block.instructions[position]
+            spec = insn.spec
+
+            def ref_for(reg: Optional[int], is_read: bool) -> Optional[OperandRef]:
+                if not is_read or reg is None:
+                    return None
+                if reg not in context.reads[position]:
+                    # Reads of the hardwired zero register.
+                    return zero()
+                producer = context.most_recent_def.get((position, reg))
+                if producer is not None and producer in member_set:
+                    return internal(position_to_slot[producer])
+                return external(input_index[reg])
+
+            src0 = ref_for(insn.rs1, spec.reads_rs1)
+            src1 = ref_for(insn.rs2, spec.reads_rs2)
+            if spec.is_store:
+                # Stores read the stored value through rs2 and the address
+                # base through rs1; both are captured above.
+                pass
+            template_instructions.append(
+                TemplateInstruction(op=insn.op, src0=src0, src1=src1, imm=insn.imm))
+
+        out_index = position_to_slot[out_member] if out_member is not None else None
+        try:
+            return MiniGraphTemplate(
+                instructions=tuple(template_instructions),
+                num_inputs=len(input_regs),
+                out_index=out_index,
+            )
+        except TemplateError:
+            return None
+
+
+def enumerate_minigraphs(program: Program,
+                         limits: Optional[EnumerationLimits] = None
+                         ) -> List[MiniGraphCandidate]:
+    """Enumerate all legal mini-graph candidates of ``program``."""
+    return MiniGraphEnumerator(program, limits).enumerate()

@@ -1,0 +1,268 @@
+"""Greedy, coverage-driven mini-graph selection.
+
+Implements the paper's Section 3.2 selection algorithm:
+
+1. enumerate all legal candidates (done by :mod:`repro.minigraph.enumeration`);
+2. coalesce static instances with identical dataflow/immediates into
+   templates and rank templates by estimated coverage ``sum (n-1)*f`` over
+   their instances, where ``f`` comes from a basic-block frequency profile;
+3. iterate over the ranked list, selecting templates until the MGT is full or
+   the list is exhausted; a static instruction may belong to at most one
+   selected mini-graph, so the benefit of the remaining templates is adjusted
+   after every pick.
+
+The module also implements *domain-specific* selection (one MGT shared by a
+whole benchmark suite, Figure 5 bottom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..program.basic_block import BlockIndex
+from ..program.profile import BlockProfile
+from ..program.program import Program
+from ..program.rewriter import RewriteSite
+from .candidates import MiniGraphCandidate
+from .enumeration import EnumerationLimits, enumerate_minigraphs
+from .policies import DEFAULT_POLICY, SelectionPolicy
+from .templates import MiniGraphTemplate
+
+
+@dataclass
+class SelectedMiniGraph:
+    """One selected template with its MGID and committed static instances."""
+
+    mgid: int
+    template: MiniGraphTemplate
+    instances: List[MiniGraphCandidate] = field(default_factory=list)
+    dynamic_benefit: int = 0
+
+    @property
+    def static_instances(self) -> int:
+        return len(self.instances)
+
+
+@dataclass
+class SelectionResult:
+    """Output of :func:`select_minigraphs` for one program.
+
+    Attributes:
+        program_name: the analysed program.
+        selected: selected templates in MGID order.
+        policy: the policy that produced this selection.
+        dynamic_instructions: denominator for coverage (from the profile).
+        covered_dynamic_instructions: dynamic instructions removed from the
+            pipeline (``sum (n-1) * f`` over committed instances).
+        candidate_count: number of admissible candidates considered.
+    """
+
+    program_name: str
+    selected: List[SelectedMiniGraph]
+    policy: SelectionPolicy
+    dynamic_instructions: int
+    covered_dynamic_instructions: int
+    candidate_count: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of dynamic instructions removed from the pipeline."""
+        if self.dynamic_instructions <= 0:
+            return 0.0
+        return self.covered_dynamic_instructions / self.dynamic_instructions
+
+    @property
+    def template_count(self) -> int:
+        return len(self.selected)
+
+    def rewrite_sites(self) -> List[RewriteSite]:
+        """All static instances as rewrite sites for the binary rewriter."""
+        sites: List[RewriteSite] = []
+        for selected in self.selected:
+            for instance in selected.instances:
+                sites.append(instance.rewrite_site(selected.mgid))
+        return sites
+
+    def coverage_by_size(self) -> Dict[int, float]:
+        """Coverage contribution broken down by mini-graph size (Figure 5 stacks)."""
+        if self.dynamic_instructions <= 0:
+            return {}
+        by_size: Dict[int, int] = {}
+        for selected in self.selected:
+            size = selected.template.size
+            by_size[size] = by_size.get(size, 0) + selected.dynamic_benefit
+        return {size: benefit / self.dynamic_instructions
+                for size, benefit in sorted(by_size.items())}
+
+    def templates(self) -> List[MiniGraphTemplate]:
+        return [selected.template for selected in self.selected]
+
+
+@dataclass
+class _TemplateGroup:
+    """All admissible instances of one template, with bookkeeping."""
+
+    template: MiniGraphTemplate
+    instances: List[MiniGraphCandidate] = field(default_factory=list)
+
+    def benefit(self, profile: BlockProfile, used: Set[int]) -> int:
+        """Current benefit: sum of (n-1)*f over still-available instances."""
+        total = 0
+        for instance in self.instances:
+            if instance.conflicts_with(used):
+                continue
+            total += instance.instructions_removed * profile.frequency(instance.block_id)
+        return total
+
+    def available_instances(self, used: Set[int]) -> List[MiniGraphCandidate]:
+        return [instance for instance in self.instances if not instance.conflicts_with(used)]
+
+
+def group_candidates(candidates: Iterable[MiniGraphCandidate]
+                     ) -> Dict[Tuple, _TemplateGroup]:
+    """Coalesce candidates by template identity."""
+    groups: Dict[Tuple, _TemplateGroup] = {}
+    for candidate in candidates:
+        key = candidate.template.key()
+        group = groups.get(key)
+        if group is None:
+            group = _TemplateGroup(template=candidate.template)
+            groups[key] = group
+        group.instances.append(candidate)
+    return groups
+
+
+def select_minigraphs(program: Program, profile: BlockProfile, *,
+                      policy: SelectionPolicy = DEFAULT_POLICY,
+                      candidates: Optional[Sequence[MiniGraphCandidate]] = None
+                      ) -> SelectionResult:
+    """Run greedy coverage-driven selection for one program.
+
+    Args:
+        program: the program to analyse.
+        profile: basic-block frequency profile used as the benefit weight.
+        policy: admissibility filters and MGT capacity.
+        candidates: pre-enumerated candidates; when omitted, candidates are
+            enumerated with limits derived from the policy.  Passing a shared
+            candidate list lets the Figure 5 sweeps avoid re-enumerating for
+            every MGT size.
+    """
+    if candidates is None:
+        limits = EnumerationLimits(max_size=policy.max_size,
+                                   allow_memory=policy.allow_memory,
+                                   allow_branches=policy.allow_branches)
+        candidates = enumerate_minigraphs(program, limits)
+    admissible = policy.filter_candidates(candidates)
+    groups = group_candidates(admissible)
+
+    used: Set[int] = set()
+    selected: List[SelectedMiniGraph] = []
+    covered = 0
+    remaining = dict(groups)
+
+    while remaining and len(selected) < policy.max_templates:
+        best_key = None
+        best_benefit = 0
+        # Ties are broken on the template's textual key so selection order is
+        # deterministic across runs and Python versions.
+        for key, group in remaining.items():
+            benefit = group.benefit(profile, used)
+            if benefit > best_benefit or (benefit == best_benefit and benefit > 0
+                                          and (best_key is None or repr(key) < repr(best_key))):
+                best_key = key
+                best_benefit = benefit
+        if best_key is None or best_benefit <= 0:
+            break
+        group = remaining.pop(best_key)
+        instances = []
+        benefit = 0
+        for instance in group.available_instances(used):
+            instances.append(instance)
+            benefit += instance.instructions_removed * profile.frequency(instance.block_id)
+            used.update(instance.member_indices)
+        if not instances:
+            continue
+        selected.append(SelectedMiniGraph(
+            mgid=len(selected),
+            template=group.template,
+            instances=instances,
+            dynamic_benefit=benefit,
+        ))
+        covered += benefit
+
+    return SelectionResult(
+        program_name=program.name,
+        selected=selected,
+        policy=policy,
+        dynamic_instructions=profile.dynamic_instructions,
+        covered_dynamic_instructions=covered,
+        candidate_count=len(admissible),
+    )
+
+
+@dataclass
+class DomainSelectionResult:
+    """Result of domain-specific selection across a suite of programs."""
+
+    suite_name: str
+    templates: List[MiniGraphTemplate]
+    per_program: Dict[str, SelectionResult]
+
+    @property
+    def template_count(self) -> int:
+        return len(self.templates)
+
+    def mean_coverage(self) -> float:
+        if not self.per_program:
+            return 0.0
+        return sum(result.coverage for result in self.per_program.values()) / len(self.per_program)
+
+
+def select_domain_minigraphs(programs: Mapping[str, Tuple[Program, BlockProfile]], *,
+                             suite_name: str,
+                             policy: SelectionPolicy = DEFAULT_POLICY
+                             ) -> DomainSelectionResult:
+    """Select one shared MGT for a whole benchmark suite (Figure 5, bottom).
+
+    The shared MGT holds the ``policy.max_templates`` templates with the
+    highest total benefit summed across every program in the suite.  Each
+    program is then re-selected restricted to that shared template set, so the
+    reported coverage reflects what the shared MGT actually achieves per
+    program.
+    """
+    per_program_candidates: Dict[str, List[MiniGraphCandidate]] = {}
+    total_benefit: Dict[Tuple, int] = {}
+    representative_template: Dict[Tuple, MiniGraphTemplate] = {}
+
+    limits = EnumerationLimits(max_size=policy.max_size,
+                               allow_memory=policy.allow_memory,
+                               allow_branches=policy.allow_branches)
+    for name, (program, profile) in programs.items():
+        candidates = policy.filter_candidates(enumerate_minigraphs(program, limits))
+        per_program_candidates[name] = candidates
+        # Per-program greedy commitment is how instances would actually be
+        # claimed; the cross-suite ranking uses the uncontended benefit, which
+        # is the standard (and the paper's implied) approximation.
+        for key, group in group_candidates(candidates).items():
+            representative_template.setdefault(key, group.template)
+            benefit = group.benefit(programs[name][1], set())
+            total_benefit[key] = total_benefit.get(key, 0) + benefit
+
+    ranked = sorted(total_benefit.items(), key=lambda item: (-item[1], repr(item[0])))
+    shared_keys = {key for key, benefit in ranked[:policy.max_templates] if benefit > 0}
+    shared_templates = [representative_template[key] for key, _ in ranked[:policy.max_templates]
+                        if key in shared_keys]
+
+    per_program_results: Dict[str, SelectionResult] = {}
+    for name, (program, profile) in programs.items():
+        restricted = [candidate for candidate in per_program_candidates[name]
+                      if candidate.template.key() in shared_keys]
+        per_program_results[name] = select_minigraphs(
+            program, profile, policy=policy, candidates=restricted)
+
+    return DomainSelectionResult(
+        suite_name=suite_name,
+        templates=shared_templates,
+        per_program=per_program_results,
+    )

@@ -1,0 +1,37 @@
+"""Static program model: programs, basic blocks, CFGs, profiles, rewriting."""
+
+from .program import Program, ProgramError
+from .basic_block import (
+    BasicBlock,
+    BlockIndex,
+    average_block_size,
+    find_leaders,
+    split_basic_blocks,
+)
+from .cfg import CfgEdge, ControlFlowGraph, build_cfg
+from .liveness import LivenessInfo, analyze_liveness, analyze_program_liveness
+from .profile import BlockProfile, coverage_weight, profile_from_block_counts
+from .rewriter import RewriteError, RewriteResult, RewriteSite, rewrite_program
+
+__all__ = [
+    "Program",
+    "ProgramError",
+    "BasicBlock",
+    "BlockIndex",
+    "average_block_size",
+    "find_leaders",
+    "split_basic_blocks",
+    "CfgEdge",
+    "ControlFlowGraph",
+    "build_cfg",
+    "LivenessInfo",
+    "analyze_liveness",
+    "analyze_program_liveness",
+    "BlockProfile",
+    "coverage_weight",
+    "profile_from_block_counts",
+    "RewriteError",
+    "RewriteResult",
+    "RewriteSite",
+    "rewrite_program",
+]

@@ -1,0 +1,139 @@
+"""Control-flow graph construction on top of basic blocks.
+
+The CFG is used by the mini-graph selection tooling for sanity checks (e.g.
+asserting that rewriting preserves block boundaries) and by the workload
+generators for reporting structural statistics.  It is a thin layer over
+``networkx.DiGraph`` with blocks as nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..isa.opcodes import OpClass
+from .basic_block import BasicBlock, BlockIndex
+from .program import Program
+
+
+@dataclass(frozen=True)
+class CfgEdge:
+    """A CFG edge between two blocks with its kind."""
+
+    src: int
+    dst: int
+    kind: str  # "fallthrough", "taken", "call", "jump"
+
+
+class ControlFlowGraph:
+    """Control-flow graph of a program at basic-block granularity."""
+
+    def __init__(self, program: Program) -> None:
+        self._program = program
+        self._index = BlockIndex(program)
+        self._graph = nx.DiGraph()
+        self._build()
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def block_index(self) -> BlockIndex:
+        return self._index
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (nodes are block ids)."""
+        return self._graph
+
+    def _build(self) -> None:
+        blocks = self._index.blocks
+        for block in blocks:
+            self._graph.add_node(block.block_id, block=block)
+        for block in blocks:
+            terminator = block.terminator
+            next_block_id = block.block_id + 1 if block.block_id + 1 < len(blocks) else None
+            if terminator.is_control:
+                spec_class = terminator.spec.op_class
+                if spec_class is OpClass.BRANCH:
+                    self._add_target_edge(block, terminator, "taken")
+                    if next_block_id is not None:
+                        self._add_edge(block.block_id, next_block_id, "fallthrough")
+                elif spec_class is OpClass.JUMP:
+                    self._add_target_edge(block, terminator, "jump")
+                elif spec_class is OpClass.CALL:
+                    self._add_target_edge(block, terminator, "call")
+                    if next_block_id is not None:
+                        self._add_edge(block.block_id, next_block_id, "fallthrough")
+                elif spec_class is OpClass.INDIRECT:
+                    # Indirect targets are unknown statically; approximated by
+                    # edges to every label target (return edges are resolved
+                    # dynamically by the simulators, not by the CFG).
+                    pass
+                # HALT: no successors.
+            elif next_block_id is not None:
+                self._add_edge(block.block_id, next_block_id, "fallthrough")
+
+    def _add_target_edge(self, block: BasicBlock, terminator, kind: str) -> None:
+        if terminator.imm is None or not self._program.contains_pc(terminator.imm):
+            return
+        target_block = self._index.block_of_pc(terminator.imm)
+        self._add_edge(block.block_id, target_block.block_id, kind)
+
+    def _add_edge(self, src: int, dst: int, kind: str) -> None:
+        self._graph.add_edge(src, dst, kind=kind)
+
+    # -- queries -------------------------------------------------------------
+
+    def successors(self, block_id: int) -> List[int]:
+        """Successor block ids of ``block_id``."""
+        return sorted(self._graph.successors(block_id))
+
+    def predecessors(self, block_id: int) -> List[int]:
+        """Predecessor block ids of ``block_id``."""
+        return sorted(self._graph.predecessors(block_id))
+
+    def edges(self) -> List[CfgEdge]:
+        """All edges with their kinds."""
+        return [CfgEdge(src, dst, data["kind"])
+                for src, dst, data in self._graph.edges(data=True)]
+
+    def entry_block(self) -> BasicBlock:
+        """Block containing the program entry point."""
+        return self._index.block_of_pc(self._program.entry_pc)
+
+    def reachable_blocks(self) -> List[int]:
+        """Block ids reachable from the entry block (via direct edges)."""
+        entry = self.entry_block().block_id
+        return sorted(nx.descendants(self._graph, entry) | {entry})
+
+    def loop_headers(self) -> List[int]:
+        """Block ids that are targets of a back edge (simple loop detection)."""
+        headers = set()
+        for src, dst in self._graph.edges():
+            if dst <= src:
+                headers.add(dst)
+        return sorted(headers)
+
+    def block_statistics(self) -> Dict[str, float]:
+        """Structural statistics used in reports and tests."""
+        blocks = self._index.blocks
+        sizes = [block.useful_size for block in blocks]
+        branchy = sum(1 for block in blocks
+                      if block.ends_in_control and block.terminator.is_branch)
+        return {
+            "num_blocks": float(len(blocks)),
+            "num_edges": float(self._graph.number_of_edges()),
+            "mean_block_size": sum(sizes) / len(sizes) if sizes else 0.0,
+            "max_block_size": float(max(sizes)) if sizes else 0.0,
+            "conditional_block_fraction": branchy / len(blocks) if blocks else 0.0,
+            "num_loop_headers": float(len(self.loop_headers())),
+        }
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Convenience constructor for :class:`ControlFlowGraph`."""
+    return ControlFlowGraph(program)

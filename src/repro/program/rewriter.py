@@ -1,0 +1,206 @@
+"""Binary rewriter: replace selected mini-graph instances with handles.
+
+The rewriter implements the paper's binary-rewriting tool.  For each selected
+static mini-graph instance it:
+
+* replaces the *anchor* instruction with a ``mg`` handle carrying the
+  interface registers and the MGID, and
+* removes the other member instructions.
+
+Two layout modes are supported, matching Section 6.2 of the paper:
+
+* ``pad_with_nops=True`` (default): removed members become nops so the static
+  layout, PCs and branch targets are unchanged.  This isolates mini-graph
+  amplification from instruction-cache compression effects, as the paper does
+  for all of its figures.
+* ``pad_with_nops=False``: removed members are deleted and the program is
+  re-laid out (branch targets are re-resolved from labels).  This exposes the
+  compression effect used in the instruction-cache experiment.
+
+The rewriter is deliberately independent of the selection machinery: it
+consumes :class:`RewritePlan` items that name layout indices, so it can also
+be used to plant hand-written handles (e.g. for DISE-aware executables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import Instruction, make_handle, make_nop
+from .program import Program, ProgramError
+
+
+class RewriteError(ValueError):
+    """Raised when a rewrite plan is inconsistent with the program."""
+
+
+@dataclass(frozen=True)
+class RewriteSite:
+    """One static mini-graph instance to collapse.
+
+    Attributes:
+        anchor_index: layout index where the handle is placed.
+        member_indices: layout indices of all member instructions, including
+            the anchor, in program order.
+        mgid: MGT index encoded in the handle.
+        input_regs: external input registers (at most two), in interface
+            order E0, E1.
+        output_reg: external output register or None.
+    """
+
+    anchor_index: int
+    member_indices: Tuple[int, ...]
+    mgid: int
+    input_regs: Tuple[int, ...]
+    output_reg: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.anchor_index not in self.member_indices:
+            raise RewriteError("anchor must be one of the member instructions")
+        if len(self.input_regs) > 2:
+            raise RewriteError("mini-graph interface allows at most two inputs")
+        if len(set(self.member_indices)) != len(self.member_indices):
+            raise RewriteError("duplicate member indices in rewrite site")
+
+    def handle(self) -> Instruction:
+        """Build the handle instruction for this site."""
+        rs1 = self.input_regs[0] if len(self.input_regs) >= 1 else None
+        rs2 = self.input_regs[1] if len(self.input_regs) >= 2 else None
+        return make_handle(rs1, rs2, self.output_reg, self.mgid)
+
+
+@dataclass
+class RewriteResult:
+    """Output of :func:`rewrite_program`.
+
+    Attributes:
+        program: the rewritten program.
+        handle_pcs: PC of each planted handle -> MGID.
+        removed_instructions: number of member instructions removed (i.e.
+            turned into nops or deleted), not counting the anchors.
+        index_map: original layout index -> new layout index (only for
+            instructions that survive; compression mode drops members).
+    """
+
+    program: Program
+    handle_pcs: Dict[int, int] = field(default_factory=dict)
+    removed_instructions: int = 0
+    index_map: Dict[int, int] = field(default_factory=dict)
+
+
+def _validate_sites(program: Program, sites: Sequence[RewriteSite]) -> None:
+    used: Dict[int, int] = {}
+    for site_number, site in enumerate(sites):
+        for index in site.member_indices:
+            if not 0 <= index < len(program.instructions):
+                raise RewriteError(f"member index {index} out of range")
+            if program.instructions[index].is_nop:
+                raise RewriteError(f"member index {index} is a nop")
+            if program.instructions[index].is_handle:
+                raise RewriteError(f"member index {index} is already a handle")
+            if index in used:
+                raise RewriteError(
+                    f"instruction {index} appears in two rewrite sites "
+                    f"({used[index]} and {site_number}); a static instruction may "
+                    f"belong to at most one mini-graph")
+            used[index] = site_number
+
+
+def rewrite_program(program: Program, sites: Sequence[RewriteSite], *,
+                    pad_with_nops: bool = True,
+                    name_suffix: str = ".mg") -> RewriteResult:
+    """Collapse every site in ``sites`` and return the rewritten program.
+
+    Args:
+        program: the original program.
+        sites: static instances to collapse; instructions may appear in at
+            most one site.
+        pad_with_nops: keep the original layout by replacing removed members
+            with nops (paper default); otherwise compress the layout.
+        name_suffix: appended to the program name of the rewritten image.
+    """
+    _validate_sites(program, sites)
+
+    replacement: Dict[int, Instruction] = {}
+    removed: set[int] = set()
+    for site in sites:
+        replacement[site.anchor_index] = site.handle()
+        for index in site.member_indices:
+            if index != site.anchor_index:
+                removed.add(index)
+
+    if pad_with_nops:
+        return _rewrite_padded(program, replacement, removed, name_suffix)
+    return _rewrite_compressed(program, replacement, removed, name_suffix)
+
+
+def _rewrite_padded(program: Program, replacement: Dict[int, Instruction],
+                    removed: set[int], name_suffix: str) -> RewriteResult:
+    new_instructions: List[Instruction] = []
+    for index, insn in enumerate(program.instructions):
+        if index in replacement:
+            new_instructions.append(replacement[index])
+        elif index in removed:
+            new_instructions.append(make_nop())
+        else:
+            new_instructions.append(insn)
+    rewritten = program.with_instructions(
+        new_instructions,
+        name=program.name + name_suffix,
+        metadata={**program.metadata, "rewritten": True, "compressed": False},
+    )
+    result = RewriteResult(program=rewritten,
+                           removed_instructions=len(removed),
+                           index_map={i: i for i in range(len(new_instructions))})
+    for index, handle in replacement.items():
+        result.handle_pcs[rewritten.pc_of(index)] = handle.mgid
+    return result
+
+
+def _rewrite_compressed(program: Program, replacement: Dict[int, Instruction],
+                        removed: set[int], name_suffix: str) -> RewriteResult:
+    # Build the surviving instruction list and an old->new index map, then
+    # re-resolve branch targets via labels on the new layout.
+    index_map: Dict[int, int] = {}
+    survivors: List[Tuple[int, Instruction]] = []
+    for index, insn in enumerate(program.instructions):
+        if index in removed:
+            continue
+        new_index = len(survivors)
+        index_map[index] = new_index
+        survivors.append((index, replacement.get(index, insn)))
+
+    # Remap labels.  A label that pointed at a removed member is moved to the
+    # next surviving instruction (this only happens when a block leader was
+    # absorbed, which the legality checker forbids for branch targets, but we
+    # handle it defensively).
+    new_labels: Dict[str, int] = {}
+    for label, pc in program.labels.items():
+        old_index = program.index_of(pc)
+        while old_index not in index_map and old_index < len(program.instructions) - 1:
+            old_index += 1
+        new_index = index_map.get(old_index, len(survivors) - 1)
+        new_labels[label] = program.text_base + new_index * 4
+
+    # Strip stale numeric targets; Program.__post_init__ re-resolves them from
+    # the remapped label table.
+    new_instructions = []
+    for _, insn in survivors:
+        if insn.is_direct_control and insn.target is not None:
+            new_instructions.append(insn.with_target(insn.target, None))
+        else:
+            new_instructions.append(insn)
+
+    rewritten = program.with_instructions(
+        new_instructions,
+        name=program.name + name_suffix,
+        labels=new_labels,
+        metadata={**program.metadata, "rewritten": True, "compressed": True},
+    )
+    result = RewriteResult(program=rewritten,
+                           removed_instructions=len(removed),
+                           index_map=index_map)
+    for index, handle in replacement.items():
+        result.handle_pcs[rewritten.pc_of(index_map[index])] = handle.mgid
+    return result

@@ -1,0 +1,21 @@
+"""Functional (architectural) simulation: golden model, memory, traces."""
+
+from .functional import (
+    FunctionalResult,
+    FunctionalSimulator,
+    SimulationError,
+    run_program,
+)
+from .memory import Memory, MemoryError_
+from .trace import Trace, TraceEntry
+
+__all__ = [
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "SimulationError",
+    "run_program",
+    "Memory",
+    "MemoryError_",
+    "Trace",
+    "TraceEntry",
+]

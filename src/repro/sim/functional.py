@@ -1,0 +1,456 @@
+"""Functional (architectural) simulator for MGA programs.
+
+The functional simulator is the golden model: it executes a program's
+architectural semantics, producing final register/memory state, a basic-block
+frequency profile and a committed-order dynamic trace for the timing model.
+
+It executes both unmodified programs and mini-graph rewritten programs.  For
+the latter it evaluates handles directly from the
+:class:`~repro.minigraph.mgt.MiniGraphTable` templates — interior values are
+computed without touching the architectural register file, exactly as the
+mini-graph microarchitecture treats them as transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.instruction import INSTRUCTION_BYTES, Instruction
+from ..isa.opcodes import OpClass
+from ..isa.registers import NUM_ARCH_REGS, NUM_INT_REGS, is_zero_reg
+from ..minigraph.mgt import MiniGraphTable
+from ..minigraph.templates import OperandKind, OperandRef
+from ..program.basic_block import BlockIndex
+from ..program.profile import BlockProfile
+from ..program.program import Program
+from .memory import Memory
+from .trace import Trace, TraceEntry
+
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+class SimulationError(RuntimeError):
+    """Raised on execution errors (undefined PCs, bad handles, ...)."""
+
+
+def _wrap(value: int) -> int:
+    return value & _WORD_MASK
+
+
+def _signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+@dataclass
+class FunctionalResult:
+    """Outcome of one functional simulation run.
+
+    Attributes:
+        program_name: name of the executed program.
+        instructions_executed: original-instruction count (handles expand).
+        entries_committed: committed trace entries (handles count once).
+        halted: True if the program executed ``halt``; False if the
+            instruction budget expired first.
+        registers: final architectural register values.
+        memory: final memory image.
+        profile: basic-block frequency profile of the run.
+        trace: committed-order dynamic trace (None if tracing was disabled).
+    """
+
+    program_name: str
+    instructions_executed: int
+    entries_committed: int
+    halted: bool
+    registers: List[int]
+    memory: Memory
+    profile: BlockProfile
+    trace: Optional[Trace]
+
+    def register(self, reg: int) -> int:
+        """Final value of architectural register ``reg``."""
+        return self.registers[reg]
+
+    def checksum(self) -> int:
+        """Combined register/memory checksum used by equivalence tests."""
+        reg_sum = 0
+        for reg, value in enumerate(self.registers):
+            if not is_zero_reg(reg):
+                reg_sum = _wrap(reg_sum + (reg * 2654435761 ^ value))
+        return _wrap(reg_sum + self.memory.checksum())
+
+
+# ---------------------------------------------------------------------------
+# ALU semantics, shared by singleton execution and handle evaluation.
+# Each function maps (a, b, imm) -> 64-bit result, where ``b`` is the second
+# register operand for register forms and ``imm`` is used by immediate forms.
+# ---------------------------------------------------------------------------
+
+def _alu_semantics() -> Dict[str, Callable[[int, int, Optional[int]], int]]:
+    def shift_amount(value: int) -> int:
+        return value & 0x3F
+
+    table: Dict[str, Callable[[int, int, Optional[int]], int]] = {
+        "addl": lambda a, b, imm: _wrap(_signed32(_signed32(a) + _signed32(b))),
+        "addli": lambda a, b, imm: _wrap(_signed32(_signed32(a) + imm)),
+        "addq": lambda a, b, imm: _wrap(a + b),
+        "addqi": lambda a, b, imm: _wrap(a + imm),
+        "subl": lambda a, b, imm: _wrap(_signed32(_signed32(a) - _signed32(b))),
+        "subli": lambda a, b, imm: _wrap(_signed32(_signed32(a) - imm)),
+        "subq": lambda a, b, imm: _wrap(a - b),
+        "subqi": lambda a, b, imm: _wrap(a - imm),
+        "and": lambda a, b, imm: a & b,
+        "andi": lambda a, b, imm: a & _wrap(imm),
+        "bis": lambda a, b, imm: a | b,
+        "bisi": lambda a, b, imm: a | _wrap(imm),
+        "xor": lambda a, b, imm: a ^ b,
+        "xori": lambda a, b, imm: a ^ _wrap(imm),
+        "bic": lambda a, b, imm: a & _wrap(~b),
+        "ornot": lambda a, b, imm: a | _wrap(~b),
+        "sll": lambda a, b, imm: _wrap(a << shift_amount(b)),
+        "slli": lambda a, b, imm: _wrap(a << shift_amount(imm)),
+        "srl": lambda a, b, imm: a >> shift_amount(b),
+        "srli": lambda a, b, imm: a >> shift_amount(imm),
+        "sra": lambda a, b, imm: _wrap(_signed(a) >> shift_amount(b)),
+        "srai": lambda a, b, imm: _wrap(_signed(a) >> shift_amount(imm)),
+        "cmpeq": lambda a, b, imm: int(a == b),
+        "cmpeqi": lambda a, b, imm: int(a == _wrap(imm)),
+        "cmplt": lambda a, b, imm: int(_signed(a) < _signed(b)),
+        "cmplti": lambda a, b, imm: int(_signed(a) < imm),
+        "cmple": lambda a, b, imm: int(_signed(a) <= _signed(b)),
+        "cmplei": lambda a, b, imm: int(_signed(a) <= imm),
+        "cmpult": lambda a, b, imm: int(a < b),
+        "cmpulti": lambda a, b, imm: int(a < _wrap(imm)),
+        "cmovne": lambda a, b, imm: b,   # applied conditionally by the caller
+        "cmoveq": lambda a, b, imm: b,   # applied conditionally by the caller
+        "s4addl": lambda a, b, imm: _wrap(_signed32((_signed(a) << 2) + _signed(b))),
+        "s8addl": lambda a, b, imm: _wrap(_signed32((_signed(a) << 3) + _signed(b))),
+        "s4addli": lambda a, b, imm: _wrap(_signed32((_signed(a) << 2) + imm)),
+        "s8addli": lambda a, b, imm: _wrap(_signed32((_signed(a) << 3) + imm)),
+        "lda": lambda a, b, imm: _wrap(a + imm),
+        "ldah": lambda a, b, imm: _wrap(a + (imm << 16)),
+        "extbl": lambda a, b, imm: (a >> ((b & 0x7) * 8)) & 0xFF,
+        "extbli": lambda a, b, imm: (a >> ((imm & 0x7) * 8)) & 0xFF,
+        "insbl": lambda a, b, imm: _wrap((a & 0xFF) << ((b & 0x7) * 8)),
+        "mskbl": lambda a, b, imm: a & _wrap(~(0xFF << ((b & 0x7) * 8))),
+        "zapnot": lambda a, b, imm: _zapnot(a, imm),
+        "sextb": lambda a, b, imm: _wrap(_sign_extend(a, 8)),
+        "sextw": lambda a, b, imm: _wrap(_sign_extend(a, 16)),
+        "popcount": lambda a, b, imm: bin(a).count("1"),
+        "clz": lambda a, b, imm: 64 - a.bit_length(),
+        "mull": lambda a, b, imm: _wrap(_signed32(_signed32(a) * _signed32(b))),
+        "mulq": lambda a, b, imm: _wrap(a * b),
+        "mulli": lambda a, b, imm: _wrap(_signed32(_signed32(a) * imm)),
+    }
+    return table
+
+
+def _zapnot(value: int, mask: Optional[int]) -> int:
+    result = 0
+    mask = mask or 0
+    for byte in range(8):
+        if mask & (1 << byte):
+            result |= value & (0xFF << (byte * 8))
+    return result
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    return value - (1 << bits) if value & (1 << (bits - 1)) else value
+
+
+_ALU = _alu_semantics()
+
+#: Memory access sizes by opcode.
+_ACCESS_SIZE = {"ldq": 8, "ldl": 4, "ldwu": 2, "ldbu": 1, "ldt": 8,
+                "stq": 8, "stl": 4, "stb": 1, "stt": 8}
+_UNSIGNED_LOADS = {"ldbu", "ldwu", "ldq", "ldt"}
+
+
+def _branch_taken(op: str, value: int) -> bool:
+    signed = _signed(value)
+    if op == "beq":
+        return value == 0
+    if op == "bne":
+        return value != 0
+    if op == "blt":
+        return signed < 0
+    if op == "bge":
+        return signed >= 0
+    if op == "bgt":
+        return signed > 0
+    if op == "ble":
+        return signed <= 0
+    raise SimulationError(f"not a conditional branch: {op}")
+
+
+class FunctionalSimulator:
+    """Architectural simulator for one program (optionally with an MGT)."""
+
+    def __init__(self, program: Program, *, mgt: Optional[MiniGraphTable] = None) -> None:
+        self._program = program
+        self._mgt = mgt
+        self._block_index = BlockIndex(program)
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, *, max_instructions: int = 200_000,
+            collect_trace: bool = True,
+            input_name: str = "reference") -> FunctionalResult:
+        """Execute the program until ``halt`` or the instruction budget expires.
+
+        ``max_instructions`` counts *original* instructions, so a run of a
+        rewritten program covers exactly the same work as a run of the
+        original with the same budget.
+        """
+        registers = [0] * NUM_ARCH_REGS
+        memory = Memory.from_image(self._program.data)
+        profile = BlockProfile(program_name=self._program.name, input_name=input_name)
+        trace = Trace() if collect_trace else None
+
+        pc = self._program.entry_pc
+        executed = 0
+        committed = 0
+        halted = False
+        block_of_pc = self._block_index.block_of_pc
+
+        while executed < max_instructions:
+            if not self._program.contains_pc(pc):
+                raise SimulationError(
+                    f"{self._program.name}: execution left the text segment at {pc:#x}")
+            index = self._program.index_of(pc)
+            insn = self._program.instructions[index]
+
+            if insn.is_nop:
+                pc += INSTRUCTION_BYTES
+                continue
+
+            block = block_of_pc(pc)
+            if index == block.start_index or self._is_block_reentry(block, index, trace):
+                pass  # block accounting handled below per entry
+
+            if insn.is_handle:
+                entry, next_pc, count = self._execute_handle(insn, pc, index, registers, memory)
+            else:
+                entry, next_pc, count = self._execute_singleton(insn, pc, index, registers, memory)
+
+            executed += count
+            committed += 1
+            self._record_block(profile, index, count)
+            if trace is not None:
+                trace.append(entry)
+
+            if insn.is_halt:
+                halted = True
+                break
+            pc = next_pc
+
+        return FunctionalResult(
+            program_name=self._program.name,
+            instructions_executed=executed,
+            entries_committed=committed,
+            halted=halted,
+            registers=registers,
+            memory=memory,
+            profile=profile,
+            trace=trace,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _is_block_reentry(self, block, index: int, trace) -> bool:
+        return False
+
+    def _record_block(self, profile: BlockProfile, index: int, count: int) -> None:
+        block = self._block_index.block_of_index(index)
+        # Count a block entry the first time we touch the block (its leader or
+        # the entry point of a jump into the middle, which our kernels do not
+        # do); the per-instruction dynamic count is tracked separately.
+        profile.counts.setdefault(block.block_id, 0)
+        if index == block.start_index or self._first_useful_index(block) == index:
+            profile.counts[block.block_id] += 1
+        profile.dynamic_instructions += count
+
+    @staticmethod
+    def _first_useful_index(block) -> int:
+        for offset, insn in enumerate(block.instructions):
+            if not insn.is_nop:
+                return block.start_index + offset
+        return block.start_index
+
+    def _read(self, registers: List[int], reg: Optional[int]) -> int:
+        if reg is None or is_zero_reg(reg):
+            return 0
+        return registers[reg]
+
+    def _write(self, registers: List[int], reg: Optional[int], value: int) -> None:
+        if reg is None or is_zero_reg(reg):
+            return
+        registers[reg] = _wrap(value)
+
+    def _execute_singleton(self, insn: Instruction, pc: int, index: int,
+                           registers: List[int], memory: Memory
+                           ) -> Tuple[TraceEntry, int, int]:
+        spec = insn.spec
+        next_pc = pc + INSTRUCTION_BYTES
+        taken: Optional[bool] = None
+        effective_address: Optional[int] = None
+
+        if spec.op_class in (OpClass.ALU, OpClass.MUL):
+            a = self._read(registers, insn.rs1)
+            b = self._read(registers, insn.rs2)
+            result = _ALU[insn.op](a, b, insn.imm)
+            if insn.op == "cmovne":
+                result = b if a != 0 else self._read(registers, insn.rd)
+            elif insn.op == "cmoveq":
+                result = b if a == 0 else self._read(registers, insn.rd)
+            self._write(registers, insn.rd, result)
+        elif spec.is_fp:
+            a = self._read(registers, insn.rs1)
+            b = self._read(registers, insn.rs2)
+            self._write(registers, insn.rd, self._fp_result(insn.op, a, b))
+        elif spec.is_load:
+            base = self._read(registers, insn.rs1)
+            effective_address = _wrap(base + (insn.imm or 0))
+            size = _ACCESS_SIZE[insn.op]
+            value = memory.load(effective_address, size,
+                                signed=insn.op not in _UNSIGNED_LOADS)
+            self._write(registers, insn.rd, _wrap(value))
+        elif spec.is_store:
+            base = self._read(registers, insn.rs1)
+            effective_address = _wrap(base + (insn.imm or 0))
+            size = _ACCESS_SIZE[insn.op]
+            memory.store(effective_address, self._read(registers, insn.rs2), size)
+        elif spec.op_class is OpClass.BRANCH:
+            taken = _branch_taken(insn.op, self._read(registers, insn.rs1))
+            if taken:
+                next_pc = insn.imm
+        elif spec.op_class is OpClass.JUMP:
+            taken = True
+            next_pc = insn.imm
+        elif spec.op_class is OpClass.CALL:
+            taken = True
+            self._write(registers, insn.rd, pc + INSTRUCTION_BYTES)
+            next_pc = insn.imm
+        elif spec.op_class is OpClass.INDIRECT:
+            taken = True
+            next_pc = self._read(registers, insn.rs1)
+        elif spec.op_class is OpClass.HALT:
+            taken = None
+        elif spec.op_class is OpClass.MG:
+            raise SimulationError("handles must be executed via _execute_handle")
+
+        entry = TraceEntry(
+            pc=pc, index=index, size=1, next_pc=next_pc,
+            is_control=spec.is_control, taken=taken,
+            is_load=spec.is_load, is_store=spec.is_store,
+            effective_address=effective_address, mgid=None,
+        )
+        return entry, next_pc, 1
+
+    def _fp_result(self, op: str, a: int, b: int) -> int:
+        # FP values are carried as 64-bit integers; the workloads use FP only
+        # lightly, so fixed-point-style integer arithmetic is sufficient and
+        # keeps the register file uniform.
+        if op == "addt":
+            return _wrap(a + b)
+        if op == "subt":
+            return _wrap(a - b)
+        if op == "mult":
+            return _wrap(a * b)
+        if op == "divt":
+            return _wrap(a // b) if b else 0
+        if op == "sqrtt":
+            return _wrap(int(_signed(a) ** 0.5)) if _signed(a) > 0 else 0
+        if op == "cmptlt":
+            return int(_signed(a) < _signed(b))
+        if op in ("cvtqt", "cvttq"):
+            return a
+        raise SimulationError(f"unknown FP opcode {op}")
+
+    def _execute_handle(self, handle: Instruction, pc: int, index: int,
+                        registers: List[int], memory: Memory
+                        ) -> Tuple[TraceEntry, int, int]:
+        if self._mgt is None:
+            raise SimulationError(
+                f"{self._program.name}: handle at {pc:#x} but no MGT was supplied")
+        entry = self._mgt.lookup(handle.mgid)
+        template = entry.template
+        external_values = (self._read(registers, handle.rs1),
+                           self._read(registers, handle.rs2))
+        interior: Dict[int, int] = {}
+        next_pc = pc + INSTRUCTION_BYTES
+        taken: Optional[bool] = None
+        effective_address: Optional[int] = None
+        is_load = is_store = False
+        output_value: Optional[int] = None
+
+        def resolve(ref: Optional[OperandRef]) -> int:
+            if ref is None:
+                return 0
+            if ref.kind is OperandKind.EXTERNAL:
+                return external_values[ref.index]
+            if ref.kind is OperandKind.INTERNAL:
+                return interior[ref.index]
+            return 0
+
+        for position, template_insn in enumerate(template.instructions):
+            op = template_insn.op
+            spec = template_insn.spec
+            a = resolve(template_insn.src0)
+            b = resolve(template_insn.src1)
+            result = 0
+            if spec.op_class in (OpClass.ALU, OpClass.MUL):
+                result = _ALU[op](a, b, template_insn.imm)
+            elif spec.is_load:
+                is_load = True
+                effective_address = _wrap(a + (template_insn.imm or 0))
+                size = _ACCESS_SIZE[op]
+                result = _wrap(memory.load(effective_address, size,
+                                           signed=op not in _UNSIGNED_LOADS))
+            elif spec.is_store:
+                is_store = True
+                effective_address = _wrap(a + (template_insn.imm or 0))
+                memory.store(effective_address, b, _ACCESS_SIZE[op])
+            elif spec.op_class is OpClass.BRANCH:
+                taken = _branch_taken(op, a)
+                if taken:
+                    next_pc = template_insn.imm
+            elif spec.op_class is OpClass.JUMP:
+                taken = True
+                next_pc = template_insn.imm
+            else:
+                raise SimulationError(f"opcode {op} not allowed inside a mini-graph")
+            interior[position] = result
+            if template.out_index == position:
+                output_value = result
+
+        if template.out_index is not None:
+            self._write(registers, handle.rd, output_value or 0)
+
+        trace_entry = TraceEntry(
+            pc=pc, index=index, size=template.size, next_pc=next_pc,
+            is_control=template.has_branch, taken=taken,
+            is_load=is_load, is_store=is_store,
+            effective_address=effective_address, mgid=handle.mgid,
+        )
+        return trace_entry, next_pc, template.size
+
+
+def run_program(program: Program, *, mgt: Optional[MiniGraphTable] = None,
+                max_instructions: int = 200_000, collect_trace: bool = True,
+                input_name: str = "reference") -> FunctionalResult:
+    """Convenience wrapper: build a simulator and run it once."""
+    simulator = FunctionalSimulator(program, mgt=mgt)
+    return simulator.run(max_instructions=max_instructions,
+                         collect_trace=collect_trace, input_name=input_name)

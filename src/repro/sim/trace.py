@@ -1,0 +1,104 @@
+"""Dynamic trace records produced by the functional simulator.
+
+The timing model (:mod:`repro.uarch`) is *functional-first*: the functional
+simulator executes the program and emits one :class:`TraceEntry` per
+committed instruction (or handle), carrying everything the timing model
+needs that is data dependent — control outcome, next PC and effective
+address.  The timing model re-derives everything else (operands, opcode
+class, latency) from the static program and the MGT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One committed instruction (or mini-graph handle) in dynamic order.
+
+    Attributes:
+        pc: program counter of the instruction / handle.
+        index: layout index within the program.
+        size: number of original program instructions this entry represents
+            (1 for singletons, the mini-graph size for handles).
+        next_pc: PC of the next committed entry (follow-through or target).
+        is_control: whether the entry ends with a control transfer.
+        taken: branch outcome (None for non-control entries).
+        is_load / is_store: whether the entry contains a memory operation.
+        effective_address: address of the memory operation, if any.
+        mgid: MGID for handles, None for singletons.
+    """
+
+    pc: int
+    index: int
+    size: int
+    next_pc: int
+    is_control: bool = False
+    taken: Optional[bool] = None
+    is_load: bool = False
+    is_store: bool = False
+    effective_address: Optional[int] = None
+    mgid: Optional[int] = None
+
+    @property
+    def is_handle(self) -> bool:
+        return self.mgid is not None
+
+
+class Trace:
+    """A committed-order dynamic trace with summary statistics."""
+
+    def __init__(self, entries: Optional[List[TraceEntry]] = None) -> None:
+        self._entries: List[TraceEntry] = entries if entries is not None else []
+
+    def append(self, entry: TraceEntry) -> None:
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> Sequence[TraceEntry]:
+        return self._entries
+
+    # -- statistics ------------------------------------------------------------
+
+    def original_instruction_count(self) -> int:
+        """Number of original program instructions represented by the trace."""
+        return sum(entry.size for entry in self._entries)
+
+    def pipeline_slot_count(self) -> int:
+        """Number of pipeline slots consumed (handles count once)."""
+        return len(self._entries)
+
+    def handle_count(self) -> int:
+        """Number of dynamic handle executions."""
+        return sum(1 for entry in self._entries if entry.is_handle)
+
+    def dynamic_coverage(self) -> float:
+        """Fraction of original instructions absorbed into handles."""
+        original = self.original_instruction_count()
+        if original == 0:
+            return 0.0
+        absorbed = sum(entry.size - 1 for entry in self._entries if entry.is_handle)
+        return absorbed / original
+
+    def load_count(self) -> int:
+        return sum(1 for entry in self._entries if entry.is_load)
+
+    def store_count(self) -> int:
+        return sum(1 for entry in self._entries if entry.is_store)
+
+    def control_count(self) -> int:
+        return sum(1 for entry in self._entries if entry.is_control)
+
+    def taken_branch_count(self) -> int:
+        return sum(1 for entry in self._entries if entry.taken)

@@ -1,0 +1,49 @@
+"""Cycle-level out-of-order superscalar timing model with mini-graph support."""
+
+from .config import (
+    CacheConfig,
+    MachineConfig,
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+)
+from .bpred import (
+    BranchPrediction,
+    BranchTargetBuffer,
+    FrontEndPredictor,
+    HybridBranchPredictor,
+    PredictorStats,
+)
+from .caches import Cache, CacheStats, MemoryHierarchy
+from .storesets import StoreSetPredictor, StoreSetStats
+from .funits import FunctionalUnitPool, FunctionalUnitStats
+from .dyninst import NEVER, DynInst
+from .stats import PipelineStats
+from .pipeline import FetchLayout, TimingError, TimingSimulator, simulate_program
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "baseline_config",
+    "integer_memory_minigraph_config",
+    "integer_minigraph_config",
+    "BranchPrediction",
+    "BranchTargetBuffer",
+    "FrontEndPredictor",
+    "HybridBranchPredictor",
+    "PredictorStats",
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+    "StoreSetPredictor",
+    "StoreSetStats",
+    "FunctionalUnitPool",
+    "FunctionalUnitStats",
+    "NEVER",
+    "DynInst",
+    "PipelineStats",
+    "FetchLayout",
+    "TimingError",
+    "TimingSimulator",
+    "simulate_program",
+]

@@ -1,0 +1,175 @@
+"""Machine configuration for the cycle-level timing model.
+
+The defaults reproduce the paper's baseline processor (Section 6): a 6-wide,
+dynamically scheduled, 15-stage superscalar with a 128-entry reorder buffer,
+50-entry issue queue, 64-entry load/store queue, 164 physical registers and
+the cache/predictor parameters listed in the evaluation setup.
+
+Named constructors produce the exact configurations used by the figures:
+the mini-graph configurations of Figure 6 (ALU pipelines, sliding-window
+scheduler, pair-wise collapsing) and the reduced-resource configurations of
+Figure 8 (smaller register files, 4-wide pipelines, 2-cycle scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    hit_latency: int
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.associativity * self.line_bytes)
+        return max(1, sets)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of one simulated machine.
+
+    Width/capacity attributes follow the paper's baseline; the mini-graph
+    attributes select which of the paper's mechanisms are present.
+    """
+
+    name: str = "baseline-6wide"
+
+    # Pipeline widths (instructions or handles per cycle).
+    fetch_width: int = 6
+    rename_width: int = 6
+    issue_width: int = 6
+    retire_width: int = 6
+
+    # Pipeline depth: the paper models 15 stages; the front end (fetch through
+    # dispatch) accounts for most of the depth and sets the misprediction
+    # redirect penalty.
+    front_end_depth: int = 7
+    register_read_latency: int = 2
+    scheduler_latency: int = 1
+
+    # Window capacities.
+    rob_size: int = 128
+    issue_queue_size: int = 50
+    lsq_size: int = 64
+    physical_registers: int = 164
+    architected_registers: int = 64
+
+    # Issue mix per cycle (maximum operations of each class).
+    int_alu_units: int = 4
+    fp_units: int = 2
+    load_ports: int = 2
+    store_ports: int = 1
+
+    # Mini-graph hardware.
+    alu_pipelines: int = 0            # how many plain ALUs are replaced by ALU pipelines
+    alu_pipeline_depth: int = 4
+    collapsing_alu_pipelines: bool = False
+    sliding_window_scheduler: bool = False
+    max_memory_handles_per_cycle: int = 1
+    minigraph_replay_penalty: int = 3  # extra cycles to restart a replayed graph
+
+    # Branch prediction.
+    predictor_entries: int = 4096      # per component of the hybrid predictor (~12Kb total)
+    btb_entries: int = 2048
+    btb_associativity: int = 4
+    # Extra redirect bubble charged at branch resolution; the front-end refill
+    # itself is modelled by front_end_depth, so this stays small.
+    misprediction_redirect_penalty: int = 2
+
+    # Memory hierarchy.
+    icache: CacheConfig = CacheConfig(32 * 1024, 2, 32, 1)
+    dcache: CacheConfig = CacheConfig(32 * 1024, 2, 32, 2)
+    l2cache: CacheConfig = CacheConfig(2 * 1024 * 1024, 4, 128, 10)
+    memory_latency: int = 100
+
+    # Memory dependence prediction / ordering.
+    store_set_entries: int = 2048
+    ordering_violation_penalty: int = 8
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def plain_alu_units(self) -> int:
+        """Integer ALUs that are not ALU pipelines."""
+        return max(0, self.int_alu_units - self.alu_pipelines)
+
+    @property
+    def in_flight_registers(self) -> int:
+        """Physical registers available for in-flight (renamed) values."""
+        return self.physical_registers - self.architected_registers
+
+    # -- named variants -----------------------------------------------------------
+
+    def with_name(self, name: str) -> "MachineConfig":
+        return replace(self, name=name)
+
+    def with_minigraph_alu_pipelines(self, count: int = 2, *,
+                                     collapsing: bool = False) -> "MachineConfig":
+        """Replace ``count`` plain ALUs with ALU pipelines (Figure 6 "int")."""
+        suffix = "-collapse" if collapsing else ""
+        return replace(self, alu_pipelines=count,
+                       collapsing_alu_pipelines=collapsing,
+                       name=f"{self.name}+ap{count}{suffix}")
+
+    def with_sliding_window(self) -> "MachineConfig":
+        """Add the sliding-window scheduler (Figure 6 "int-mem")."""
+        return replace(self, sliding_window_scheduler=True,
+                       name=f"{self.name}+slide")
+
+    def with_physical_registers(self, total: int) -> "MachineConfig":
+        """Shrink/grow the physical register file (Figure 8 top)."""
+        return replace(self, physical_registers=total,
+                       name=f"{self.name}-prf{total}")
+
+    def with_issue_queue(self, entries: int) -> "MachineConfig":
+        """Change the scheduler capacity (Section 6.3)."""
+        return replace(self, issue_queue_size=entries,
+                       name=f"{self.name}-iq{entries}")
+
+    def with_width(self, width: int, *, execute_width: Optional[int] = None,
+                   load_ports: Optional[int] = None) -> "MachineConfig":
+        """Reduce pipeline bandwidth (Figure 8 bottom).
+
+        ``execute_width`` optionally keeps a wider execute stage (the paper's
+        "4-wide + 6-exec" configuration); ``load_ports`` adjusts load issue
+        bandwidth alongside it.
+        """
+        execute = execute_width if execute_width is not None else width
+        int_units = max(1, execute - 2)
+        loads = load_ports if load_ports is not None else max(1, execute // 3)
+        return replace(
+            self,
+            fetch_width=width, rename_width=width, retire_width=width,
+            issue_width=execute,
+            int_alu_units=int_units,
+            load_ports=loads,
+            name=f"{self.name}-{width}wide{execute}exec",
+        )
+
+    def with_scheduler_latency(self, latency: int) -> "MachineConfig":
+        """Pipeline the scheduler (Figure 8 bottom, "2-cycle schedule")."""
+        return replace(self, scheduler_latency=latency,
+                       name=f"{self.name}-sched{latency}")
+
+
+def baseline_config() -> MachineConfig:
+    """The paper's baseline 6-wide processor."""
+    return MachineConfig()
+
+
+def integer_minigraph_config(*, collapsing: bool = False) -> MachineConfig:
+    """Figure 6 "int": two ALUs replaced with 4-stage ALU pipelines."""
+    return baseline_config().with_minigraph_alu_pipelines(2, collapsing=collapsing)
+
+
+def integer_memory_minigraph_config(*, collapsing: bool = False) -> MachineConfig:
+    """Figure 6 "int-mem": ALU pipelines plus a sliding-window scheduler."""
+    return integer_minigraph_config(collapsing=collapsing).with_sliding_window()

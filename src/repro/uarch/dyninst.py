@@ -1,0 +1,145 @@
+"""Dynamic instruction records used by the timing pipeline.
+
+A :class:`DynInst` is one in-flight entity: either a singleton instruction or
+a mini-graph handle.  It carries the static instruction, the trace entry that
+produced it (control outcome, effective address), renamed register
+identifiers and the per-stage timestamps the pipeline fills in as the entity
+flows through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..minigraph.mgt import MgtEntry
+from ..sim.trace import TraceEntry
+
+#: Sentinel cycle value meaning "has not happened yet".
+NEVER = -1
+
+
+@dataclass
+class DynInst:
+    """One in-flight instruction or handle.
+
+    Attributes:
+        sequence: global dynamic sequence number (age ordering).
+        trace: the trace entry this entity was fetched from.
+        static: the static instruction (a handle for mini-graphs).
+        mgt_entry: MGT row for handles, None for singletons.
+        source_physical: physical registers of the (up to two) sources.
+        destination_physical: allocated physical destination, or None.
+        previous_physical: physical register previously mapped to the
+            destination architectural register (freed at retire).
+    """
+
+    sequence: int
+    trace: TraceEntry
+    static: Instruction
+    mgt_entry: Optional[MgtEntry] = None
+
+    # Renaming.
+    source_physical: Tuple[Optional[int], Optional[int]] = (None, None)
+    destination_physical: Optional[int] = None
+    previous_physical: Optional[int] = None
+
+    # Branch prediction state.
+    predicted_taken: Optional[bool] = None
+    predicted_target: Optional[int] = None
+    mispredicted: bool = False
+
+    # Per-stage timestamps (cycles).
+    fetch_cycle: int = NEVER
+    rename_cycle: int = NEVER
+    issue_cycle: int = NEVER
+    complete_cycle: int = NEVER
+    retire_cycle: int = NEVER
+
+    # Execution bookkeeping.
+    output_ready_cycle: int = NEVER
+    memory_latency: int = 0
+    replayed: bool = False
+    caused_ordering_violation: bool = False
+
+    # -- classification -----------------------------------------------------------
+
+    @property
+    def is_handle(self) -> bool:
+        return self.mgt_entry is not None
+
+    @property
+    def is_load(self) -> bool:
+        return self.trace.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.trace.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        return self.trace.is_load or self.trace.is_store
+
+    @property
+    def is_control(self) -> bool:
+        return self.trace.is_control
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        if self.is_handle:
+            return self.mgt_entry.template.has_branch
+        return self.static.is_branch
+
+    @property
+    def original_instructions(self) -> int:
+        """Original program instructions represented (handles expand)."""
+        return self.trace.size
+
+    @property
+    def pc(self) -> int:
+        return self.trace.pc
+
+    @property
+    def effective_address(self) -> Optional[int]:
+        return self.trace.effective_address
+
+    @property
+    def actual_taken(self) -> Optional[bool]:
+        return self.trace.taken
+
+    @property
+    def actual_target(self) -> int:
+        return self.trace.next_pc
+
+    @property
+    def needs_destination(self) -> bool:
+        """Does this entity allocate a physical destination register?
+
+        Following the paper's baseline, stores and branches are not allocated
+        registers; a handle allocates one register only if its mini-graph has
+        an interface output.
+        """
+        if self.is_handle:
+            return self.mgt_entry.template.out_index is not None \
+                and self.static.destination_register() is not None
+        return self.static.destination_register() is not None
+
+    @property
+    def issued(self) -> bool:
+        return self.issue_cycle != NEVER
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_cycle != NEVER
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Architectural source registers (handles expose the interface only)."""
+        return self.static.source_registers()
+
+    def describe(self) -> str:
+        """Readable one-liner for debugging and trace dumps."""
+        kind = f"mg[{self.static.mgid}]" if self.is_handle else self.static.op
+        return (f"#{self.sequence} pc={self.pc:#x} {kind} "
+                f"fetch={self.fetch_cycle} issue={self.issue_cycle} "
+                f"complete={self.complete_cycle} retire={self.retire_cycle}")

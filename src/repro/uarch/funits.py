@@ -1,0 +1,226 @@
+"""Functional-unit pool: per-cycle issue ports, ALU pipelines and the
+sliding-window resource reservation bitmap.
+
+The baseline issues up to 4 integer, 2 floating-point, 2 load and 1 store
+operations per cycle.  A mini-graph processor replaces some plain ALUs with
+*ALU pipelines* (single-entry, single-exit chains of ALUs): each pipeline
+accepts one operation or handle per cycle at its input but performs one
+constituent operation per stage per cycle internally, amplifying execution
+bandwidth without adding bypass paths.  Singleton ALU operations may also use
+an ALU pipeline's input with no penalty (the output mux selects the unlatched
+first-stage result), so substituting pipelines for ALUs does not hurt
+programs without mini-graphs.
+
+The *sliding-window scheduler* extends the conventional write-port
+reservation bitmap in both dimensions (resources x future cycles) so that an
+integer-memory handle can reserve all the functional units its constituent
+instructions will need before it issues (Section 4.3).  The same mechanism is
+reused as a fallback to execute handles on machines without ALU pipelines by
+reserving a plain ALU for each execution cycle of the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..minigraph.mgt import FU_ALU, FU_ALU_PIPELINE, FU_BRANCH, FU_LOAD, FU_STORE
+from .config import MachineConfig
+
+
+@dataclass
+class FunctionalUnitStats:
+    """Issue-port utilisation counters."""
+
+    int_issues: int = 0
+    fp_issues: int = 0
+    load_issues: int = 0
+    store_issues: int = 0
+    handle_issues: int = 0
+    structural_stalls: int = 0
+    reservation_conflicts: int = 0
+
+
+class FunctionalUnitPool:
+    """Per-cycle issue port tracking plus the sliding-window bitmap."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self.stats = FunctionalUnitStats()
+        self._cycle = -1
+        self._plain_used = 0
+        self._pipeline_used = 0
+        self._fp_used = 0
+        self._load_used = 0
+        self._store_used = 0
+        self._memory_handles_issued = 0
+        # Future reservations made by in-flight handles: cycle -> unit -> count.
+        self._reservations: Dict[int, Dict[str, int]] = {}
+
+    # -- per-cycle bookkeeping ---------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset per-cycle port usage and drop stale reservations."""
+        self._cycle = cycle
+        self._plain_used = 0
+        self._pipeline_used = 0
+        self._fp_used = 0
+        self._load_used = 0
+        self._store_used = 0
+        self._memory_handles_issued = 0
+        for key in [key for key in self._reservations if key < cycle]:
+            del self._reservations[key]
+
+    def _reserved(self, cycle: int, unit: str) -> int:
+        return self._reservations.get(cycle, {}).get(unit, 0)
+
+    def _reserve(self, cycle: int, unit: str, count: int = 1) -> None:
+        bucket = self._reservations.setdefault(cycle, {})
+        bucket[unit] = bucket.get(unit, 0) + count
+
+    def _plain_free(self) -> int:
+        return (self._config.plain_alu_units - self._plain_used
+                - self._reserved(self._cycle, FU_ALU))
+
+    def _pipeline_free(self) -> int:
+        return (self._config.alu_pipelines - self._pipeline_used
+                - self._reserved(self._cycle, FU_ALU_PIPELINE))
+
+    # -- singleton issue -----------------------------------------------------------
+
+    def can_issue_int(self) -> bool:
+        """Can another singleton integer operation issue this cycle?"""
+        return self._plain_free() > 0 or self._pipeline_free() > 0
+
+    def issue_int(self) -> bool:
+        """Issue one singleton integer operation (plain ALU preferred)."""
+        if self._plain_free() > 0:
+            self._plain_used += 1
+        elif self._pipeline_free() > 0:
+            self._pipeline_used += 1
+        else:
+            self.stats.structural_stalls += 1
+            return False
+        self.stats.int_issues += 1
+        return True
+
+    def can_issue_fp(self) -> bool:
+        return self._fp_used < self._config.fp_units
+
+    def issue_fp(self) -> bool:
+        if not self.can_issue_fp():
+            self.stats.structural_stalls += 1
+            return False
+        self._fp_used += 1
+        self.stats.fp_issues += 1
+        return True
+
+    def can_issue_load(self) -> bool:
+        return (self._load_used + self._reserved(self._cycle, FU_LOAD)
+                < self._config.load_ports)
+
+    def issue_load(self) -> bool:
+        if not self.can_issue_load():
+            self.stats.structural_stalls += 1
+            return False
+        self._load_used += 1
+        self.stats.load_issues += 1
+        return True
+
+    def can_issue_store(self) -> bool:
+        return (self._store_used + self._reserved(self._cycle, FU_STORE)
+                < self._config.store_ports)
+
+    def issue_store(self) -> bool:
+        if not self.can_issue_store():
+            self.stats.structural_stalls += 1
+            return False
+        self._store_used += 1
+        self.stats.store_issues += 1
+        return True
+
+    # -- handle issue ----------------------------------------------------------------
+
+    @staticmethod
+    def _normalise_unit(unit: str) -> str:
+        if unit.startswith(FU_ALU_PIPELINE):
+            return FU_ALU_PIPELINE
+        if unit == FU_BRANCH:
+            return FU_ALU
+        return unit
+
+    def can_issue_integer_handle(self) -> bool:
+        """Integer-only handles execute on an ALU pipeline (one input per cycle)."""
+        return self._pipeline_free() > 0
+
+    def issue_integer_handle(self) -> bool:
+        if not self.can_issue_integer_handle():
+            self.stats.structural_stalls += 1
+            return False
+        self._pipeline_used += 1
+        self.stats.handle_issues += 1
+        return True
+
+    def can_issue_memory_handle(self, fu0: str, fubmp: Tuple[Optional[str], ...]) -> bool:
+        """Check first-cycle availability and the sliding-window reservation.
+
+        At most ``max_memory_handles_per_cycle`` integer-memory handles issue
+        per cycle because cross-checking candidate FUBMPs against one another
+        is too expensive (Section 4.3).
+        """
+        if self._memory_handles_issued >= self._config.max_memory_handles_per_cycle:
+            return False
+        if not self._unit_available_now(self._normalise_unit(fu0)):
+            return False
+        for offset, unit in enumerate(fubmp, start=1):
+            if unit is None:
+                continue
+            if not self._unit_available_future(self._cycle + offset,
+                                               self._normalise_unit(unit)):
+                return False
+        return True
+
+    def issue_memory_handle(self, fu0: str, fubmp: Tuple[Optional[str], ...]) -> bool:
+        """Issue an integer-memory handle, reserving its future functional units."""
+        if not self.can_issue_memory_handle(fu0, fubmp):
+            self.stats.reservation_conflicts += 1
+            return False
+        self._consume_unit_now(self._normalise_unit(fu0))
+        for offset, unit in enumerate(fubmp, start=1):
+            if unit is None:
+                continue
+            self._reserve(self._cycle + offset, self._normalise_unit(unit))
+        self._memory_handles_issued += 1
+        self.stats.handle_issues += 1
+        return True
+
+    # -- unit availability -------------------------------------------------------
+
+    def _unit_available_now(self, unit: str) -> bool:
+        if unit == FU_LOAD:
+            return self.can_issue_load()
+        if unit == FU_STORE:
+            return self.can_issue_store()
+        if unit == FU_ALU_PIPELINE:
+            return self._pipeline_free() > 0
+        return self.can_issue_int()
+
+    def _consume_unit_now(self, unit: str) -> None:
+        if unit == FU_LOAD:
+            self.issue_load()
+        elif unit == FU_STORE:
+            self.issue_store()
+        elif unit == FU_ALU_PIPELINE:
+            self._pipeline_used += 1
+        else:
+            self.issue_int()
+
+    def _unit_available_future(self, cycle: int, unit: str) -> bool:
+        if unit == FU_LOAD:
+            return self._reserved(cycle, FU_LOAD) < self._config.load_ports
+        if unit == FU_STORE:
+            return self._reserved(cycle, FU_STORE) < self._config.store_ports
+        if unit == FU_ALU_PIPELINE:
+            return self._reserved(cycle, FU_ALU_PIPELINE) < max(1, self._config.alu_pipelines)
+        capacity = max(1, self._config.plain_alu_units + self._config.alu_pipelines)
+        return self._reserved(cycle, FU_ALU) < capacity

@@ -1,0 +1,542 @@
+"""Cycle-level out-of-order superscalar timing model with mini-graph support.
+
+The model is *functional-first, timing-directed*: the functional simulator
+produces the committed-path trace (control outcomes and effective addresses)
+and this pipeline re-plays it through a detailed out-of-order machine with a
+real branch predictor, BTB, cache hierarchy, store-sets predictor, register
+renaming, ROB/issue-queue/LSQ capacities and per-class issue ports.
+
+Handles (mini-graphs) are processed as singleton instructions at every stage
+except execution, where the MGHT header drives scheduling (FU0/FUBMP/LAT) and
+the MGST bank count drives execution occupancy — exactly the division of
+labour described in Section 4 of the paper.
+
+Two modelling simplifications (documented in DESIGN.md) keep the Python model
+tractable while preserving the relative effects the paper measures:
+
+* wrong-path instructions are not fetched: a mispredicted control transfer
+  stalls fetch until it resolves and then pays the front-end redirect
+  penalty, which charges the same latency as a squash-and-refetch without
+  modelling wrong-path contention;
+* memory-ordering violations are charged as a fetch-redirect penalty at the
+  offending load (plus store-set training) rather than by rolling back
+  renamed state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+from ..minigraph.mgt import FU_LOAD, FU_STORE, MgtEntry, MiniGraphTable
+from ..program.program import Program
+from ..sim.trace import Trace, TraceEntry
+from .bpred import FrontEndPredictor
+from .caches import MemoryHierarchy
+from .config import MachineConfig
+from .dyninst import NEVER, DynInst
+from .funits import FunctionalUnitPool
+from .stats import PipelineStats
+from .storesets import StoreSetPredictor
+
+
+class TimingError(RuntimeError):
+    """Raised for inconsistent timing-model configurations."""
+
+
+@dataclass
+class _LsqEntry:
+    """One load/store queue entry."""
+
+    sequence: int
+    is_store: bool
+    pc: int
+    address: Optional[int]
+    issued: bool = False
+    completed: bool = False
+
+
+@dataclass
+class FetchLayout:
+    """Maps instruction PCs to the addresses the instruction cache sees.
+
+    In the paper's default setup mini-graph interiors are replaced by nops, so
+    the static layout (and hence instruction-cache behaviour) is unchanged;
+    the compression experiment removes them.  ``compressed=True`` models the
+    compressed layout by renumbering every non-nop instruction densely.
+    """
+
+    program: Program
+    compressed: bool = False
+    _dense_index: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.compressed:
+            dense = 0
+            for index, insn in enumerate(self.program.instructions):
+                if not insn.is_nop:
+                    self._dense_index[index] = dense
+                    dense += 1
+
+    def fetch_address(self, pc: int) -> int:
+        if not self.compressed:
+            return pc
+        index = self.program.index_of(pc)
+        dense = self._dense_index.get(index, index)
+        return self.program.text_base + dense * 4
+
+
+class TimingSimulator:
+    """Out-of-order pipeline model for one program/trace pair."""
+
+    def __init__(self, program: Program, trace: Trace, config: MachineConfig, *,
+                 mgt: Optional[MiniGraphTable] = None,
+                 compressed_layout: bool = False) -> None:
+        self._program = program
+        self._trace = trace
+        self._config = config
+        self._mgt = mgt
+        self.stats = PipelineStats()
+
+        self._predictor = FrontEndPredictor(
+            predictor_entries=config.predictor_entries,
+            btb_entries=config.btb_entries,
+            btb_associativity=config.btb_associativity)
+        self._memory = MemoryHierarchy(config)
+        self._store_sets = StoreSetPredictor(config.store_set_entries)
+        self._funits = FunctionalUnitPool(config)
+        self._layout = FetchLayout(program, compressed=compressed_layout)
+
+        # Renaming state: architectural register -> physical register.
+        self._rename_map: Dict[int, int] = {reg: reg for reg in range(config.architected_registers)}
+        self._free_list: Deque[int] = deque(range(config.architected_registers,
+                                                  config.physical_registers))
+        # Earliest cycle at which a consumer of the physical register may issue.
+        self._ready_cycle: Dict[int, int] = {reg: 0 for reg in range(config.architected_registers)}
+
+        # Pipeline structures.
+        self._front_end: Deque[DynInst] = deque()   # fetched, waiting to rename
+        self._rob: Deque[DynInst] = deque()
+        self._issue_queue: List[DynInst] = []
+        self._iq_busy_until: List[int] = []          # handles hold entries while executing
+        self._lsq: Deque[_LsqEntry] = deque()
+        self._executing: List[DynInst] = []
+
+        # Fetch state.
+        self._fetch_index = 0
+        self._fetch_stalled_until = 0
+        self._fetch_blocked_on: Optional[int] = None  # sequence of unresolved mispredict
+        self._next_sequence = 0
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, *, max_cycles: int = 5_000_000) -> PipelineStats:
+        """Simulate until the whole trace has retired; returns the statistics."""
+        total_entries = len(self._trace)
+        retired_entries = 0
+        cycle = 0
+        while retired_entries < total_entries:
+            if cycle > max_cycles:
+                raise TimingError(
+                    f"{self._program.name}: exceeded {max_cycles} cycles "
+                    f"({retired_entries}/{total_entries} entries retired); "
+                    f"the pipeline is probably deadlocked")
+            self._funits.begin_cycle(cycle)
+            retired_entries += self._retire(cycle)
+            self._complete(cycle)
+            self._issue(cycle)
+            self._rename(cycle)
+            self._fetch(cycle)
+            self._account_occupancy(cycle)
+            cycle += 1
+        self.stats.cycles = cycle
+        self.stats.branch_mispredictions = self._predictor.mispredictions()
+        self.stats.icache_misses = self._memory.icache.stats.misses
+        self.stats.dcache_accesses = self._memory.dcache.stats.accesses
+        self.stats.dcache_misses = self._memory.dcache.stats.misses
+        return self.stats
+
+    # ---------------------------------------------------------------- retire --
+
+    def _retire(self, cycle: int) -> int:
+        retired = 0
+        while self._rob and retired < self._config.retire_width:
+            head = self._rob[0]
+            if not head.completed or head.complete_cycle > cycle:
+                break
+            self._rob.popleft()
+            head.retire_cycle = cycle
+            if head.previous_physical is not None:
+                self._free_list.append(head.previous_physical)
+            if head.is_memory and self._lsq and self._lsq[0].sequence == head.sequence:
+                self._lsq.popleft()
+            self.stats.committed_instructions += head.original_instructions
+            self.stats.committed_slots += 1
+            if head.is_handle:
+                self.stats.committed_handles += 1
+            retired += 1
+        return retired
+
+    # -------------------------------------------------------------- complete --
+
+    def _complete(self, cycle: int) -> None:
+        still_running: List[DynInst] = []
+        for inst in self._executing:
+            if inst.complete_cycle > cycle:
+                still_running.append(inst)
+                continue
+            # Control resolution: train the predictor and release a blocked
+            # front end (redirect penalty charged from the resolution cycle).
+            if inst.is_control:
+                self._predictor.update(
+                    inst.pc,
+                    is_conditional=inst.is_conditional_branch,
+                    taken=bool(inst.actual_taken),
+                    target=inst.actual_target if inst.actual_taken else None,
+                    predicted_taken=bool(inst.predicted_taken))
+                if self._fetch_blocked_on == inst.sequence:
+                    self._fetch_blocked_on = None
+                    self._fetch_stalled_until = max(
+                        self._fetch_stalled_until,
+                        cycle + self._config.misprediction_redirect_penalty)
+            if inst.is_memory:
+                self._mark_lsq_completed(inst.sequence)
+                if inst.is_store:
+                    self._store_sets.store_completed(inst.pc, inst.sequence)
+        self._executing = still_running
+
+    def _mark_lsq_completed(self, sequence: int) -> None:
+        for entry in self._lsq:
+            if entry.sequence == sequence:
+                entry.completed = True
+                return
+
+    # ----------------------------------------------------------------- issue --
+
+    def _issue(self, cycle: int) -> None:
+        issued = 0
+        remaining: List[DynInst] = []
+        # Age-ordered select: the issue queue list is kept in dispatch order.
+        for inst in self._issue_queue:
+            if issued >= self._config.issue_width:
+                remaining.append(inst)
+                continue
+            if not self._sources_ready(inst, cycle):
+                remaining.append(inst)
+                continue
+            if inst.is_memory and not self._memory_dependence_allows_issue(inst):
+                remaining.append(inst)
+                continue
+            issue_outcome = self._try_issue(inst, cycle)
+            if issue_outcome == "issued":
+                issued += 1
+                self.stats.issue_slots_used += 1
+            elif issue_outcome == "slot_lost":
+                # A sliding-window reservation conflict consumes the issue slot
+                # without issuing anything (Section 4.3).
+                issued += 1
+                self.stats.sliding_window_conflicts += 1
+                remaining.append(inst)
+            else:
+                remaining.append(inst)
+        self._issue_queue = remaining
+
+    def _sources_ready(self, inst: DynInst, cycle: int) -> bool:
+        for physical in inst.source_physical:
+            if physical is None:
+                continue
+            if self._ready_cycle.get(physical, 0) > cycle:
+                return False
+        return True
+
+    def _memory_dependence_allows_issue(self, inst: DynInst) -> bool:
+        """Store-sets scheduling plus in-order store address availability."""
+        if inst.is_store:
+            return True
+        predicted = self._store_sets.predicted_store_for(inst.pc)
+        if predicted is None:
+            return True
+        for entry in self._lsq:
+            if entry.sequence == predicted and entry.is_store and not entry.completed:
+                return False
+        return True
+
+    def _try_issue(self, inst: DynInst, cycle: int) -> str:
+        """Attempt to issue; returns "issued", "blocked" or "slot_lost"."""
+        if inst.is_handle:
+            return self._try_issue_handle(inst, cycle)
+        spec = inst.static.spec
+        if spec.is_load:
+            if not self._funits.can_issue_load():
+                return "blocked"
+            self._funits.issue_load()
+            self._issue_load(inst, cycle)
+            return "issued"
+        if spec.is_store:
+            if not self._funits.can_issue_store():
+                return "blocked"
+            self._funits.issue_store()
+            self._issue_store(inst, cycle)
+            return "issued"
+        if spec.is_fp:
+            if not self._funits.can_issue_fp():
+                return "blocked"
+            self._funits.issue_fp()
+            self._finish_issue(inst, cycle, latency=spec.latency)
+            return "issued"
+        if spec.op_class in (OpClass.ALU, OpClass.MUL) or spec.is_control \
+                or spec.op_class is OpClass.NOP or spec.op_class is OpClass.HALT:
+            if not self._funits.can_issue_int():
+                return "blocked"
+            self._funits.issue_int()
+            self._finish_issue(inst, cycle, latency=max(1, spec.latency))
+            return "issued"
+        raise TimingError(f"cannot issue opcode {inst.static.op}")
+
+    # -- singleton issue helpers ---------------------------------------------------
+
+    def _finish_issue(self, inst: DynInst, cycle: int, *, latency: int,
+                      output_latency: Optional[int] = None) -> None:
+        inst.issue_cycle = cycle
+        execute_start = cycle + self._config.register_read_latency
+        inst.complete_cycle = execute_start + latency
+        if inst.destination_physical is not None:
+            visible = output_latency if output_latency is not None else latency
+            wakeup = max(visible, self._config.scheduler_latency)
+            inst.output_ready_cycle = cycle + wakeup
+            self._ready_cycle[inst.destination_physical] = inst.output_ready_cycle
+        self._executing.append(inst)
+
+    def _issue_load(self, inst: DynInst, cycle: int) -> None:
+        address = inst.effective_address or 0
+        latency = self._memory.data_latency(address)
+        self.stats.loads_executed += 1
+        self._check_ordering_violation(inst, cycle)
+        self._mark_lsq_issued(inst.sequence, address)
+        self._finish_issue(inst, cycle, latency=latency)
+
+    def _issue_store(self, inst: DynInst, cycle: int) -> None:
+        self.stats.stores_executed += 1
+        self._mark_lsq_issued(inst.sequence, inst.effective_address)
+        # Stores write the data cache at retirement; for scheduling purposes
+        # the store executes (computes its address, forwards data) in one cycle.
+        self._finish_issue(inst, cycle, latency=1)
+
+    def _mark_lsq_issued(self, sequence: int, address: Optional[int]) -> None:
+        for entry in self._lsq:
+            if entry.sequence == sequence:
+                entry.issued = True
+                entry.address = address
+                return
+
+    def _check_ordering_violation(self, inst: DynInst, cycle: int) -> None:
+        """Detect a load issuing before an older conflicting store has executed."""
+        address = inst.effective_address
+        if address is None:
+            return
+        for entry in self._lsq:
+            if entry.sequence >= inst.sequence:
+                break
+            if not entry.is_store or entry.completed:
+                continue
+            if entry.address is not None and entry.issued:
+                continue
+            # The older store has not executed yet; its eventual address comes
+            # from its own trace entry (entry.address is filled at dispatch).
+            if entry.address == address:
+                self.stats.ordering_violations += 1
+                inst.caused_ordering_violation = True
+                self._store_sets.train_violation(inst.pc, entry.pc)
+                self._fetch_stalled_until = max(
+                    self._fetch_stalled_until,
+                    cycle + self._config.ordering_violation_penalty)
+                return
+
+    # -- handle issue helpers --------------------------------------------------------
+
+    def _try_issue_handle(self, inst: DynInst, cycle: int) -> str:
+        entry = inst.mgt_entry
+        template = entry.template
+        header = entry.header
+        if template.is_integer_only and self._config.alu_pipelines > 0:
+            if not self._funits.can_issue_integer_handle():
+                return "blocked"
+            self._funits.issue_integer_handle()
+        else:
+            if not self._config.sliding_window_scheduler and not template.is_integer_only:
+                raise TimingError(
+                    "integer-memory handles require the sliding-window scheduler; "
+                    f"config {self._config.name!r} does not enable it")
+            if not self._funits.can_issue_memory_handle(header.fu0, header.fubmp):
+                return "slot_lost"
+            self._funits.issue_memory_handle(header.fu0, header.fubmp)
+
+        execution_cycles = len(entry.banks)
+        output_latency = header.lat
+        extra_memory = 0
+        if template.has_load:
+            address = inst.effective_address or 0
+            latency = self._memory.data_latency(address)
+            self.stats.loads_executed += 1
+            self._check_ordering_violation(inst, cycle)
+            self._mark_lsq_issued(inst.sequence, address)
+            extra_memory = max(0, latency - self._config.dcache.hit_latency)
+            if extra_memory > 0 and template.has_interior_load:
+                # An interior load missed: the whole mini-graph is replayed
+                # once the miss returns (Section 4.3).
+                self.stats.minigraph_replays += 1
+                inst.replayed = True
+                extra_memory += self._config.minigraph_replay_penalty + execution_cycles
+                output_latency = execution_cycles + extra_memory
+            elif extra_memory > 0:
+                output_latency += extra_memory if template.out_index == template.size - 1 else 0
+        elif template.has_store:
+            self.stats.stores_executed += 1
+            self._mark_lsq_issued(inst.sequence, inst.effective_address)
+
+        total_latency = execution_cycles + extra_memory
+        self._finish_issue(inst, cycle, latency=total_latency,
+                           output_latency=output_latency)
+        # The MGST sequencer frees the scheduler entry only when the terminal
+        # instruction issues, so the handle holds its entry while executing.
+        self._iq_busy_until.append(cycle + execution_cycles)
+        return "issued"
+
+    # ---------------------------------------------------------------- rename --
+
+    def _rename(self, cycle: int) -> None:
+        renamed = 0
+        while self._front_end and renamed < self._config.rename_width:
+            inst = self._front_end[0]
+            if inst.fetch_cycle + self._config.front_end_depth > cycle:
+                break
+            if len(self._rob) >= self._config.rob_size:
+                self.stats.stall_rob_full += 1
+                break
+            if self._issue_queue_occupancy(cycle) >= self._config.issue_queue_size:
+                self.stats.stall_iq_full += 1
+                break
+            if inst.is_memory and len(self._lsq) >= self._config.lsq_size:
+                self.stats.stall_lsq_full += 1
+                break
+            if inst.needs_destination and not self._free_list:
+                self.stats.stall_no_physical_register += 1
+                break
+            self._front_end.popleft()
+            self._rename_one(inst, cycle)
+            renamed += 1
+        if renamed == 0 and self._front_end:
+            self.stats.rename_stall_cycles += 1
+
+    def _issue_queue_occupancy(self, cycle: int) -> int:
+        self._iq_busy_until = [until for until in self._iq_busy_until if until > cycle]
+        return len(self._issue_queue) + len(self._iq_busy_until)
+
+    def _rename_one(self, inst: DynInst, cycle: int) -> None:
+        inst.rename_cycle = cycle
+        sources = inst.source_registers()
+        physical_sources: List[Optional[int]] = [None, None]
+        for position, reg in enumerate(sources[:2]):
+            physical_sources[position] = self._rename_map.get(reg)
+        inst.source_physical = (physical_sources[0], physical_sources[1])
+
+        destination = inst.static.destination_register()
+        if inst.needs_destination and destination is not None:
+            physical = self._free_list.popleft()
+            inst.previous_physical = self._rename_map.get(destination)
+            self._rename_map[destination] = physical
+            inst.destination_physical = physical
+            self._ready_cycle[physical] = float("inf")  # not ready until issue computes it
+
+        self._rob.append(inst)
+        self._issue_queue.append(inst)
+        if inst.is_memory:
+            self._lsq.append(_LsqEntry(
+                sequence=inst.sequence, is_store=inst.is_store, pc=inst.pc,
+                address=inst.effective_address if inst.is_store else None))
+            if inst.is_store:
+                self._store_sets.store_dispatched(inst.pc, inst.sequence)
+
+    # ----------------------------------------------------------------- fetch --
+
+    def _fetch(self, cycle: int) -> None:
+        if self._fetch_blocked_on is not None or cycle < self._fetch_stalled_until:
+            self.stats.fetch_stall_cycles += 1
+            return
+        if self._fetch_index >= len(self._trace):
+            return
+        if len(self._front_end) >= self._config.fetch_width * self._config.front_end_depth:
+            self.stats.fetch_stall_cycles += 1
+            return
+
+        fetched = 0
+        current_line: Optional[int] = None
+        while fetched < self._config.fetch_width and self._fetch_index < len(self._trace):
+            entry = self._trace[self._fetch_index]
+            address = self._layout.fetch_address(entry.pc)
+            line = self._memory.line_address(address, instruction=True)
+            if line != current_line:
+                latency = self._memory.instruction_latency(address)
+                if latency > self._config.icache.hit_latency:
+                    # Instruction cache miss: charge the miss latency and stop
+                    # fetching this cycle.
+                    self._fetch_stalled_until = max(self._fetch_stalled_until,
+                                                    cycle + latency)
+                    if fetched == 0:
+                        self.stats.fetch_stall_cycles += 1
+                    break
+                current_line = line
+            inst = self._make_dyninst(entry, cycle)
+            self._front_end.append(inst)
+            self._fetch_index += 1
+            fetched += 1
+            self.stats.fetched_slots += 1
+
+            if entry.is_control:
+                self.stats.branch_lookups += 1
+                prediction = self._predictor.predict(
+                    entry.pc, is_conditional=inst.is_conditional_branch)
+                inst.predicted_taken = prediction.taken
+                inst.predicted_target = prediction.target
+                actual_taken = bool(entry.taken)
+                target_correct = (not actual_taken) or (prediction.target == entry.next_pc)
+                if prediction.taken != actual_taken or not target_correct:
+                    inst.mispredicted = True
+                    self._fetch_blocked_on = inst.sequence
+                    break
+                if actual_taken:
+                    # Correctly predicted taken branches still end the fetch group.
+                    break
+
+    def _make_dyninst(self, entry: TraceEntry, cycle: int) -> DynInst:
+        static = self._program.at(entry.pc)
+        mgt_entry: Optional[MgtEntry] = None
+        if entry.is_handle:
+            if self._mgt is None:
+                raise TimingError("trace contains handles but no MGT was supplied")
+            mgt_entry = self._mgt.lookup(entry.mgid)
+        inst = DynInst(sequence=self._next_sequence, trace=entry, static=static,
+                       mgt_entry=mgt_entry)
+        inst.fetch_cycle = cycle
+        self._next_sequence += 1
+        return inst
+
+    # ------------------------------------------------------------- accounting --
+
+    def _account_occupancy(self, cycle: int) -> None:
+        self.stats.rob_occupancy_sum += len(self._rob)
+        self.stats.iq_occupancy_sum += self._issue_queue_occupancy(cycle)
+        in_use = self._config.physical_registers - len(self._free_list)
+        self.stats.physical_registers_in_use_sum += in_use
+
+
+def simulate_program(program: Program, trace: Trace, config: MachineConfig, *,
+                     mgt: Optional[MiniGraphTable] = None,
+                     compressed_layout: bool = False) -> PipelineStats:
+    """Convenience wrapper: build a :class:`TimingSimulator` and run it."""
+    simulator = TimingSimulator(program, trace, config, mgt=mgt,
+                                compressed_layout=compressed_layout)
+    return simulator.run()

@@ -1,0 +1,98 @@
+"""Store-sets memory dependence predictor.
+
+The baseline schedules loads with a store-sets predictor (Chrysos & Emer,
+ISCA-25): loads and stores that have conflicted in the past are placed in the
+same *store set* and the load is made to wait for the store.  The
+implementation here keeps the two classic tables:
+
+* the store-set identifier table (SSIT), indexed by instruction PC, and
+* the last-fetched-store table (LFST), indexed by store-set id, recording the
+  most recent in-flight store of that set.
+
+When loads and stores are embedded in mini-graphs, the *handle* PC identifies
+them (Section 4.3), so callers simply pass handle PCs — the predictor does
+not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class StoreSetStats:
+    """Predictor activity counters."""
+
+    load_lookups: int = 0
+    predicted_dependences: int = 0
+    trainings: int = 0
+
+
+class StoreSetPredictor:
+    """PC-indexed store-set predictor (SSIT + LFST)."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        if entries <= 0:
+            raise ValueError("store-set table needs at least one entry")
+        self._entries = entries
+        self._ssit: Dict[int, int] = {}
+        self._lfst: Dict[int, int] = {}
+        self._next_set_id = 0
+        self.stats = StoreSetStats()
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self._entries
+
+    # -- prediction -------------------------------------------------------------
+
+    def predicted_store_for(self, load_pc: int) -> Optional[int]:
+        """Sequence number of the in-flight store this load should wait for."""
+        self.stats.load_lookups += 1
+        set_id = self._ssit.get(self._index(load_pc))
+        if set_id is None:
+            return None
+        store_seq = self._lfst.get(set_id)
+        if store_seq is not None:
+            self.stats.predicted_dependences += 1
+        return store_seq
+
+    def store_dispatched(self, store_pc: int, sequence: int) -> None:
+        """Record an in-flight store so later loads of its set can wait for it."""
+        set_id = self._ssit.get(self._index(store_pc))
+        if set_id is not None:
+            self._lfst[set_id] = sequence
+
+    def store_completed(self, store_pc: int, sequence: int) -> None:
+        """Clear the LFST entry once the store has executed."""
+        set_id = self._ssit.get(self._index(store_pc))
+        if set_id is not None and self._lfst.get(set_id) == sequence:
+            del self._lfst[set_id]
+
+    # -- training ---------------------------------------------------------------
+
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """Merge the load and store into one store set after an ordering violation."""
+        self.stats.trainings += 1
+        load_index = self._index(load_pc)
+        store_index = self._index(store_pc)
+        load_set = self._ssit.get(load_index)
+        store_set = self._ssit.get(store_index)
+        if load_set is None and store_set is None:
+            set_id = self._allocate_set()
+            self._ssit[load_index] = set_id
+            self._ssit[store_index] = set_id
+        elif load_set is None:
+            self._ssit[load_index] = store_set
+        elif store_set is None:
+            self._ssit[store_index] = load_set
+        else:
+            # Merge by adopting the smaller id (the classic heuristic).
+            winner = min(load_set, store_set)
+            self._ssit[load_index] = winner
+            self._ssit[store_index] = winner
+
+    def _allocate_set(self) -> int:
+        set_id = self._next_set_id
+        self._next_set_id += 1
+        return set_id

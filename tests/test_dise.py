@@ -1,0 +1,191 @@
+"""Tests for the DISE substrate: productions, engine, MGTT and MGPP."""
+
+import pytest
+
+from repro.dise import (
+    DiseEngine,
+    DiseError,
+    MiniGraphTagTable,
+    Operand,
+    Pattern,
+    Production,
+    ReplacementInstruction,
+    production_for_template,
+    productions_for_selection,
+)
+from repro.isa.instruction import Instruction, make_handle
+from repro.minigraph import (
+    DEFAULT_POLICY,
+    MiniGraphTable,
+    MiniGraphTemplate,
+    TemplateInstruction,
+    external,
+    internal,
+    select_minigraphs,
+)
+from repro.sim import run_program
+from repro.workloads import load_benchmark
+
+
+def _load_template():
+    return MiniGraphTemplate(
+        instructions=(
+            TemplateInstruction("ldq", src0=external(0), imm=16),
+            TemplateInstruction("srli", src0=internal(0), imm=14),
+            TemplateInstruction("andi", src0=internal(1), imm=1),
+        ),
+        num_inputs=1,
+        out_index=2,
+    )
+
+
+class TestPatternsAndOperands:
+    def test_pattern_matches_opcode(self):
+        pattern = Pattern(op="addl")
+        assert pattern.matches(Instruction("addl", rd=1, rs1=2, rs2=3))
+        assert not pattern.matches(Instruction("subl", rd=1, rs1=2, rs2=3))
+
+    def test_pattern_matches_codeword(self):
+        pattern = Pattern(op="mg", codeword_id=12)
+        assert pattern.matches(make_handle(1, 2, 3, 12))
+        assert not pattern.matches(make_handle(1, 2, 3, 13))
+
+    def test_operand_requires_exactly_one_source(self):
+        with pytest.raises(DiseError):
+            Operand(parameter="RS1", literal=3)
+        with pytest.raises(DiseError):
+            Operand()
+
+    def test_parameter_resolution(self):
+        matched = Instruction("addl", rd=7, rs1=8, rs2=9)
+        assert Operand.rs1().resolve_register(matched) == 8
+        assert Operand.rd().resolve_register(matched) == 7
+        assert Operand.lit(5).resolve_immediate(matched) == 5
+
+    def test_dise_registers_are_backed_by_reserved_registers(self):
+        matched = make_handle(1, 2, 3, 0)
+        first = Operand.dise(0).resolve_register(matched)
+        second = Operand.dise(1).resolve_register(matched)
+        assert first != second
+
+
+class TestTransparentProduction:
+    def test_expansion_appends_masking_instruction(self):
+        # The paper's toy example: after every add, clear all but the low byte.
+        production = Production(
+            name="mask-after-add",
+            pattern=Pattern(op="addl"),
+            replacement=(
+                ReplacementInstruction("addl", rd=Operand.rd(), rs1=Operand.rs1(),
+                                       rs2=Operand.rs2()),
+                ReplacementInstruction("andi", rd=Operand.rd(), rs1=Operand.rd(),
+                                       imm=Operand.lit(0xFF)),
+            ),
+        )
+        engine = DiseEngine()
+        engine.load_production(production)
+        outcome = engine.decode(Instruction("addl", rd=2, rs1=2, rs2=4))
+        assert outcome.expanded
+        assert [insn.op for insn in outcome.instructions] == ["addl", "andi"]
+        assert outcome.instructions[1].imm == 0xFF
+
+    def test_non_matching_instruction_passes_through(self):
+        engine = DiseEngine()
+        outcome = engine.decode(Instruction("subl", rd=1, rs1=2, rs2=3))
+        assert not outcome.expanded
+        assert outcome.instructions[0].op == "subl"
+
+
+class TestMgtt:
+    def test_install_and_approval(self):
+        mgtt = MiniGraphTagTable(capacity=2)
+        mgtt.install(5, approved=True)
+        mgtt.install(6, approved=False)
+        assert mgtt.is_approved(5)
+        assert not mgtt.is_approved(6)
+        assert 5 in mgtt and 6 in mgtt
+
+    def test_lru_eviction(self):
+        mgtt = MiniGraphTagTable(capacity=2)
+        mgtt.install(1, approved=True)
+        mgtt.install(2, approved=True)
+        mgtt.touch(1)
+        mgtt.install(3, approved=True)
+        assert 1 in mgtt
+        assert 2 not in mgtt
+
+
+class TestMgppAndEngine:
+    def test_handle_expansion_then_approval(self):
+        template = _load_template()
+        production = production_for_template(34, template)
+        engine = DiseEngine()
+        engine.load_production(production)
+        handle = make_handle(4, None, 17, 34)
+        # First decode: MGTT miss, the handle is expanded and pre-processed.
+        first = engine.decode(handle)
+        assert first.expanded
+        assert [insn.op for insn in first.instructions] == ["ldq", "srli", "andi"]
+        # Second decode: the MGID is approved and the handle stays in-line.
+        second = engine.decode(handle)
+        assert second.kept_handle
+        assert 34 in engine.mgt
+        assert engine.mgt.lookup(34).template.key() == template.key()
+
+    def test_unknown_codeword_raises(self):
+        engine = DiseEngine()
+        with pytest.raises(DiseError):
+            engine.decode(make_handle(1, 2, 3, 99))
+
+    def test_oversized_production_is_expanded_not_approved(self):
+        # A production with two memory operations can never be a mini-graph;
+        # the MGPP must reject it and the engine must keep expanding it.
+        production = Production(
+            name="two-loads",
+            pattern=Pattern(op="mg", codeword_id=50),
+            replacement=(
+                ReplacementInstruction("ldq", rd=Operand.dise(0), rs1=Operand.rs1(),
+                                       imm=Operand.lit(0)),
+                ReplacementInstruction("ldq", rd=Operand.rd(), rs1=Operand.dise(0),
+                                       imm=Operand.lit(8)),
+            ),
+        )
+        engine = DiseEngine()
+        engine.load_production(production)
+        handle = make_handle(4, None, 7, 50)
+        first = engine.decode(handle)
+        second = engine.decode(handle)
+        assert first.expanded and second.expanded
+        assert not engine.mgtt.is_approved(50)
+        assert 50 not in engine.mgt
+
+    def test_selection_round_trip_through_dise(self):
+        """Export a real selection as productions; the MGPP-compiled MGT must
+        drive a functionally identical execution of the rewritten program."""
+        program = load_benchmark("gsm.toast")
+        baseline = run_program(program, max_instructions=4000)
+        selection = select_minigraphs(program, baseline.profile, policy=DEFAULT_POLICY)
+        productions = productions_for_selection(selection)
+        assert len(productions) == selection.template_count
+
+        engine = DiseEngine()
+        engine.load_productions(productions)
+        # Pre-process every MGID once (first decode expands; second keeps).
+        for selected in selection.selected:
+            handle = make_handle(1, 2, 3, selected.mgid)
+            engine.decode(handle)
+
+        approved = [selected.mgid for selected in selection.selected
+                    if engine.mgtt.is_approved(selected.mgid)]
+        assert approved, "at least some selected mini-graphs must be DISE-expressible"
+
+        from repro.program import rewrite_program
+        sites = [instance.rewrite_site(selected.mgid)
+                 for selected in selection.selected
+                 for instance in selected.instances
+                 if selected.mgid in approved]
+        rewritten = rewrite_program(program, sites).program
+        result = run_program(rewritten, mgt=engine.mgt, max_instructions=4000)
+        # Memory state (the kernel's architectural output) must be identical;
+        # dead interior register values are legitimately never materialised.
+        assert result.memory.checksum() == baseline.memory.checksum()

@@ -1,0 +1,127 @@
+"""Tests for the experiment harnesses (small budgets, small benchmark subsets)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ResultTable,
+    format_percent,
+    geometric_mean,
+    run_best_policy,
+    run_coverage_panel,
+    run_domain_panel,
+    run_figure6,
+    run_figure7,
+    run_icache_effect,
+    run_register_panel,
+    run_bandwidth_panel,
+    run_robustness,
+)
+from repro.minigraph import DEFAULT_POLICY, INTEGER_POLICY
+from repro.uarch import baseline_config, integer_memory_minigraph_config
+
+SMALL = ["gsm.toast", "frag", "bitcount", "mcf"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(budget=4000)
+
+
+class TestReporting:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_format_percent(self):
+        assert format_percent(1.1) == "+10.0%"
+        assert format_percent(0.95) == "-5.0%"
+
+    def test_result_table_render_and_means(self):
+        table = ResultTable(title="demo", columns=["a"])
+        table.add("gsm.toast", "a", 1.2, suite="media")
+        table.add("mcf", "a", 0.9, suite="spec")
+        text = table.render()
+        assert "demo" in text and "gsm.toast" in text
+        assert table.suite_means("a")["media"] == pytest.approx(1.2)
+        assert table.overall_mean("a") == pytest.approx(geometric_mean([1.2, 0.9]))
+
+
+class TestRunner:
+    def test_artifacts_are_cached(self, runner):
+        first = runner.baseline("gsm.toast")
+        second = runner.baseline("gsm.toast")
+        assert first is second
+
+    def test_minigraph_artifacts(self, runner):
+        artifacts = runner.minigraph("gsm.toast", DEFAULT_POLICY)
+        assert artifacts.selection.template_count > 0
+        assert len(artifacts.mgt) == artifacts.selection.template_count
+
+    def test_speedup_computation(self, runner):
+        speedup = runner.speedup("gsm.toast", DEFAULT_POLICY,
+                                 integer_memory_minigraph_config(),
+                                 baseline_config=baseline_config())
+        assert 0.5 < speedup < 2.0
+
+    def test_benchmark_listing(self):
+        assert "mcf" in ExperimentRunner.benchmarks("spec")
+        assert len(ExperimentRunner.benchmarks(limit=3)) == 3
+
+
+class TestFigureHarnesses:
+    def test_figure5_panels(self, runner):
+        integer = run_coverage_panel(runner, integer_only=True, benchmarks=SMALL[:2],
+                                     mgt_sizes=(32, 512), graph_sizes=(2, 4))
+        memory = run_coverage_panel(runner, integer_only=False, benchmarks=SMALL[:2],
+                                    mgt_sizes=(32, 512), graph_sizes=(2, 4))
+        for name in SMALL[:2]:
+            assert 0.0 <= integer.table.value(name, "512e/4i") <= 1.0
+            assert memory.table.value(name, "512e/4i") >= integer.table.value(name, "512e/4i")
+
+    def test_figure5_domain_panel(self, runner):
+        result = run_domain_panel(runner, benchmarks=["frag", "rtr"], mgt_sizes=(64,))
+        assert result.table.column_values("domain-64e")
+
+    def test_figure6(self, runner):
+        result = run_figure6(runner, benchmarks=SMALL[:2], configs=("int", "int-mem"))
+        assert set(result.baseline_ipc) == set(SMALL[:2])
+        for name in SMALL[:2]:
+            assert result.table.value(name, "int") > 0.0
+        assert "Figure 6" in result.render()
+
+    def test_figure7(self, runner):
+        result = run_figure7(runner, benchmarks=["gsm.toast"])
+        row = result.table.rows["gsm.toast"]
+        assert "int" in row and "int-mem-noserial-noreplay" in row
+
+    def test_best_policy(self, runner):
+        result = run_best_policy(runner, benchmarks=["gsm.toast", "mcf"])
+        assert set(result.best_policy) == {"gsm.toast", "mcf"}
+        # The best policy can never be worse than the unrestricted default.
+        figure7 = run_figure7(runner, benchmarks=["mcf"])
+        assert result.best_speedup["mcf"] >= figure7.table.value("mcf", "int-mem") - 1e-9
+
+    def test_figure8_register_panel(self, runner):
+        table = run_register_panel(runner, benchmarks=["gsm.toast"],
+                                   register_sizes=(164, 104), modes=("baseline", "int-mem"))
+        # Shrinking the register file cannot speed the baseline up.
+        assert table.value("gsm.toast", "baseline@104") <= \
+            table.value("gsm.toast", "baseline@164") + 1e-9
+
+    def test_figure8_bandwidth_panel(self, runner):
+        table = run_bandwidth_panel(runner, benchmarks=["bitcount"],
+                                    variants=("6-wide", "4-wide"),
+                                    modes=("baseline", "int"))
+        assert table.value("bitcount", "baseline@4-wide") <= \
+            table.value("bitcount", "baseline@6-wide") + 1e-9
+
+    def test_robustness(self, runner):
+        result = run_robustness(runner, benchmarks=["gsm.toast"])
+        assert "gsm.toast" in result.reports
+        assert 0.0 <= result.mean_relative_loss <= 1.0
+
+    def test_icache_effect(self, runner):
+        result = run_icache_effect(runner, benchmarks=["gcc"])
+        assert result.table.value("gcc", "padded") > 0.0
+        assert result.table.value("gcc", "compressed") > 0.0

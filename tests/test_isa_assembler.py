@@ -1,0 +1,130 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.registers import ZERO_REG
+
+
+def test_simple_program_assembles():
+    unit = assemble("""
+    start:
+      ldi r1, 5
+      addqi r1,1,r2
+      halt
+    """)
+    assert len(unit.instructions) == 3
+    assert unit.labels["start"] == 0
+    assert unit.instructions[0].op == "lda"
+    assert unit.instructions[1].op == "addqi"
+
+
+def test_comments_and_blank_lines_are_ignored():
+    unit = assemble("""
+    # a comment
+      nop   ; trailing comment
+
+      halt
+    """)
+    assert [insn.op for insn in unit.instructions] == ["nop", "halt"]
+
+
+def test_memory_operands():
+    unit = assemble("""
+      ldq r2,16(r4)
+      stq r2,8(r4)
+      halt
+    """)
+    load, store, _ = unit.instructions
+    assert load.rd == 2 and load.rs1 == 4 and load.imm == 16
+    assert store.rs2 == 2 and store.rs1 == 4 and store.imm == 8
+
+
+def test_branch_targets_are_validated():
+    with pytest.raises(AssemblerError):
+        assemble("bne r1, nowhere\nhalt\n")
+
+
+def test_branch_to_known_label():
+    unit = assemble("""
+    loop:
+      subqi r1,1,r1
+      bne r1,loop
+      halt
+    """)
+    branch = unit.instructions[1]
+    assert branch.target == "loop"
+
+
+def test_data_directive_allocates_words():
+    unit = assemble("""
+    .data table 1 2 3
+      la r1, table
+      halt
+    """)
+    base = unit.data_labels["table"]
+    assert unit.data[base] == 1
+    assert unit.data[base + 8] == 2
+    assert unit.data[base + 16] == 3
+    assert unit.instructions[0].imm == base
+
+
+def test_space_directive():
+    unit = assemble("""
+    .space buffer 4
+      halt
+    """)
+    base = unit.data_labels["buffer"]
+    assert all(unit.data[base + 8 * i] == 0 for i in range(4))
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\n nop\na:\n halt\n")
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate r1,r2,r3\nhalt\n")
+
+
+def test_unknown_data_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("la r1, nowhere\nhalt\n")
+
+
+def test_pseudo_ops():
+    unit = assemble("""
+      mov r2, r3
+      clr r4
+      ldi r5, 1234
+      halt
+    """)
+    mov, clr, ldi, _ = unit.instructions
+    assert mov.op == "bis" and mov.rs1 == 3 and mov.rs2 == ZERO_REG and mov.rd == 2
+    assert clr.op == "bis" and clr.rs1 == ZERO_REG
+    assert ldi.op == "lda" and ldi.imm == 1234
+
+
+def test_handle_syntax():
+    unit = assemble("mg r18,r5,r18,12\nhalt\n")
+    handle = unit.instructions[0]
+    assert handle.is_handle
+    assert handle.mgid == 12
+
+
+def test_handle_with_dash_operands():
+    unit = assemble("mg r4,-,r17,34\nhalt\n")
+    handle = unit.instructions[0]
+    assert handle.rs2 == ZERO_REG
+
+
+def test_malformed_operand_count_reports_line():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("addl r1,r2\nhalt\n")
+    assert "addl" in str(excinfo.value)
+
+
+def test_label_pc_helper():
+    unit = assemble("first:\n nop\nsecond:\n halt\n")
+    assert unit.label_pc("second") - unit.label_pc("first") == 4

@@ -1,0 +1,242 @@
+"""Tests for candidate enumeration, legality checking and greedy selection."""
+
+import pytest
+
+from repro.minigraph import (
+    DEFAULT_POLICY,
+    INTEGER_POLICY,
+    EnumerationLimits,
+    enumerate_minigraphs,
+    select_minigraphs,
+)
+from repro.program import Program
+from repro.sim import run_program
+
+
+def _program(source, name="extract"):
+    return Program.from_assembly(name, source)
+
+
+def _profile(program, budget=5000):
+    return run_program(program, max_instructions=budget).profile
+
+
+class TestEnumeration:
+    def test_figure1_left_idiom_is_found(self):
+        # addl / cmplt / bne within one block, as in the paper's Figure 1.
+        program = _program("""
+          ldi r18, 0
+          ldi r5, 10
+        loop:
+          addqi r18,2,r18
+          cmplt r18,r5,r7
+          bne r7,loop
+          halt
+        """)
+        candidates = enumerate_minigraphs(program)
+        sizes = {candidate.template.size for candidate in candidates}
+        assert 3 in sizes
+        three = [c for c in candidates if c.template.size == 3][0]
+        assert three.template.has_branch
+        assert three.output_reg == 18  # the counter is live out of the block
+        assert three.input_regs == (18, 5)
+
+    def test_figure1_right_idiom_is_found(self):
+        program = _program("""
+        .data table 7 9
+          la r4, table
+          ldq r2,0(r4)
+          srli r2,1,r17
+          andi r17,1,r17
+          addq r17,r17,r1
+          halt
+        """)
+        candidates = enumerate_minigraphs(program)
+        memory_graphs = [c for c in candidates if c.template.has_load]
+        assert memory_graphs
+        assert any(c.template.size == 3 for c in memory_graphs)
+
+    def test_two_memory_operations_never_combined(self):
+        program = _program("""
+        .data buf 1 2
+          la r1, buf
+          ldq r2,0(r1)
+          ldq r3,8(r1)
+          addq r2,r3,r4
+          halt
+        """)
+        for candidate in enumerate_minigraphs(program):
+            memory_ops = sum(1 for t in candidate.template.instructions if t.is_memory)
+            assert memory_ops <= 1
+
+    def test_interface_limit_two_inputs(self):
+        for candidate in enumerate_minigraphs(_program("""
+          addq r1,r2,r5
+          addq r3,r4,r6
+          addq r5,r6,r7
+          addq r7,r7,r8
+          halt
+        """)):
+            assert len(candidate.input_regs) <= 2
+
+    def test_interface_limit_one_output(self):
+        # r5 and r6 are both read later, so the pair (producing two live
+        # values) must never be a single mini-graph.
+        program = _program("""
+          addqi r1,1,r5
+          addqi r2,1,r6
+          addq r5,r6,r7
+          addq r5,r6,r8
+          addq r7,r8,r9
+          halt
+        """)
+        for candidate in enumerate_minigraphs(program):
+            members = set(candidate.member_indices)
+            assert not ({0, 1} <= members and 2 not in members and 3 not in members)
+
+    def test_branch_must_be_terminal(self):
+        program = _program("""
+          clr r1
+        loop:
+          addqi r1,1,r1
+          cmplti r1,5,r2
+          bne r2,loop
+          halt
+        """)
+        for candidate in enumerate_minigraphs(program):
+            for position, template_insn in enumerate(candidate.template.instructions):
+                if template_insn.is_control:
+                    assert position == candidate.template.size - 1
+
+    def test_candidates_respect_max_size(self):
+        program = _program("""
+          addqi r1,1,r1
+          addqi r1,1,r1
+          addqi r1,1,r1
+          addqi r1,1,r1
+          addqi r1,1,r1
+          halt
+        """)
+        limits = EnumerationLimits(max_size=3)
+        for candidate in enumerate_minigraphs(program, limits):
+            assert candidate.template.size <= 3
+
+    def test_anchor_prefers_memory_operation(self):
+        program = _program("""
+        .data buf 5
+          la r1, buf
+          addqi r2,8,r3
+          ldq r4,0(r3)
+          halt
+        """)
+        candidates = [c for c in enumerate_minigraphs(program) if c.template.has_load]
+        assert candidates
+        for candidate in candidates:
+            anchor_insn = program.instructions[candidate.anchor_index]
+            assert anchor_insn.is_memory
+
+    def test_interference_blocks_illegal_motion(self):
+        # The addq (candidate member) cannot move down past the store that
+        # reads its output register, nor can the cmplt move up past it: any
+        # graph containing both addq and cmplt but not the store is illegal.
+        program = _program("""
+        .data buf 0
+          la r1, buf
+          addqi r2,1,r3
+          stq r3,0(r1)
+          cmplti r3,10,r4
+          bne r4,out
+          clr r5
+        out:
+          halt
+        """)
+        for candidate in enumerate_minigraphs(program):
+            members = set(candidate.member_indices)
+            assert not ({1, 3} <= members and 2 not in members)
+
+
+class TestSelection:
+    def _loop_program(self):
+        return _program("""
+        .data data 3 1 4 1 5 9 2 6
+        .data out 0 0 0 0 0 0 0 0
+          la r16, data
+          la r17, out
+          ldi r18, 8
+          clr r10
+        loop:
+          s8addl r10,r16,r8
+          ldq r2,0(r8)
+          srli r2,2,r3
+          andi r3,7,r3
+          s8addl r10,r17,r9
+          stq r3,0(r9)
+          addqi r10,1,r10
+          cmplt r10,r18,r9
+          bne r9,loop
+          halt
+        """)
+
+    def test_selection_produces_positive_coverage(self):
+        program = self._loop_program()
+        profile = _profile(program)
+        selection = select_minigraphs(program, profile, policy=DEFAULT_POLICY)
+        assert selection.template_count > 0
+        assert 0.0 < selection.coverage < 1.0
+
+    def test_each_static_instruction_in_at_most_one_graph(self):
+        program = self._loop_program()
+        selection = select_minigraphs(program, _profile(program), policy=DEFAULT_POLICY)
+        used = []
+        for selected in selection.selected:
+            for instance in selected.instances:
+                used.extend(instance.member_indices)
+        assert len(used) == len(set(used))
+
+    def test_mgt_capacity_limits_templates(self):
+        program = self._loop_program()
+        profile = _profile(program)
+        small = select_minigraphs(program, profile, policy=DEFAULT_POLICY.with_mgt_entries(1))
+        large = select_minigraphs(program, profile, policy=DEFAULT_POLICY)
+        assert small.template_count <= 1
+        assert small.coverage <= large.coverage
+
+    def test_integer_policy_excludes_memory(self):
+        program = self._loop_program()
+        selection = select_minigraphs(program, _profile(program), policy=INTEGER_POLICY)
+        for selected in selection.selected:
+            assert selected.template.is_integer_only
+
+    def test_coverage_monotonic_in_graph_size(self):
+        program = self._loop_program()
+        profile = _profile(program)
+        cov2 = select_minigraphs(program, profile,
+                                 policy=DEFAULT_POLICY.with_max_size(2)).coverage
+        cov4 = select_minigraphs(program, profile,
+                                 policy=DEFAULT_POLICY.with_max_size(4)).coverage
+        assert cov4 >= cov2
+
+    def test_benefit_formula_matches_coverage(self):
+        program = self._loop_program()
+        profile = _profile(program)
+        selection = select_minigraphs(program, profile, policy=DEFAULT_POLICY)
+        recomputed = sum(
+            instance.instructions_removed * profile.frequency(instance.block_id)
+            for selected in selection.selected for instance in selected.instances)
+        assert recomputed == selection.covered_dynamic_instructions
+
+    def test_policy_filters_serial_graphs(self):
+        program = self._loop_program()
+        profile = _profile(program)
+        policy = DEFAULT_POLICY.without_external_serialization()
+        selection = select_minigraphs(program, profile, policy=policy)
+        for selected in selection.selected:
+            assert not selected.template.is_externally_serial
+
+    def test_policy_filters_interior_loads(self):
+        program = self._loop_program()
+        profile = _profile(program)
+        policy = DEFAULT_POLICY.without_replay_vulnerable()
+        selection = select_minigraphs(program, profile, policy=policy)
+        for selected in selection.selected:
+            assert not selected.template.has_interior_load

@@ -1,0 +1,144 @@
+"""Reconstruction of the paper's worked example (Figures 1-3).
+
+The gcc snippets of Figure 1 are assembled, the extractor must discover the
+two shaded mini-graphs, the MGT built from them must match the logical
+contents of Figure 1c / physical contents of Figure 2, and the handle life
+cycle through the pipeline must show the bandwidth amplification of Figure 3
+(one slot per stage instead of three).
+"""
+
+import pytest
+
+from repro.minigraph import (
+    DEFAULT_POLICY,
+    MiniGraphTable,
+    enumerate_minigraphs,
+    select_minigraphs,
+)
+from repro.program import Program, rewrite_program
+from repro.sim import run_program
+from repro.uarch import baseline_config, integer_memory_minigraph_config, simulate_program
+
+#: Figure 1a, left snippet: the counter/compare/branch idiom plus surrounding
+#: code (the shaded instructions are addl, cmplt, bne).  In the paper's
+#: context r18 is the interface output (OUT = 0) and r7 is dead after the
+#: branch; the code around the idiom here is arranged to give the same
+#: liveness so the extracted graph matches Figure 1c.
+LEFT_SNIPPET = """
+start:
+  ldi r5, 40
+  ldi r16, 1048576
+  clr r0
+  ldl r18,24(r16)
+loop:
+  addqi r18,2,r18
+  lda r6,2,r6
+  s8addl r6,r0,r22
+  cmplt r18,r5,r7
+  bne r7,loop
+  stq r18,32(r16)
+  halt
+"""
+
+#: Figure 1a, right snippet: the load/shift/mask idiom (ldq, srl, and).
+RIGHT_SNIPPET = """
+start:
+  ldi r4, 1048576
+  clr r10
+loop:
+  ldq r2,16(r4)
+  srli r2,14,r17
+  andi r17,1,r17
+  bis r18,zero,r16
+  addq r10,r17,r10
+  addqi r4,8,r4
+  cmplti r4,1049176,r9
+  bne r9,loop
+  halt
+"""
+
+
+def _select(program, budget=4000):
+    profile = run_program(program, max_instructions=budget).profile
+    return select_minigraphs(program, profile, policy=DEFAULT_POLICY)
+
+
+class TestFigure1Extraction:
+    def test_left_snippet_yields_compare_branch_graph(self):
+        program = Program.from_assembly("gcc-left", LEFT_SNIPPET)
+        candidates = enumerate_minigraphs(program)
+        chains = [c for c in candidates
+                  if [t.op for t in c.template.instructions] == ["addqi", "cmplt", "bne"]]
+        assert chains, "the addl/cmplt/bne idiom of Figure 1 must be enumerable"
+        graph = chains[0]
+        # Interface: inputs r18 and r5, output r18 produced by the first
+        # instruction (OUT = 0 in Figure 1c).
+        assert set(graph.input_regs) == {18, 5}
+        assert graph.output_reg == 18
+        assert graph.template.out_index == 0
+        # The anchor is the branch.
+        assert program.instructions[graph.anchor_index].is_branch
+
+    def test_right_snippet_yields_load_shift_mask_graph(self):
+        program = Program.from_assembly("gcc-right", RIGHT_SNIPPET)
+        candidates = enumerate_minigraphs(program)
+        chains = [c for c in candidates
+                  if [t.op for t in c.template.instructions] == ["ldq", "srli", "andi"]]
+        assert chains, "the ldq/srl/and idiom of Figure 1 must be enumerable"
+        graph = chains[0]
+        assert graph.input_regs == (4,)
+        assert graph.output_reg == 17
+        assert graph.template.out_index == 2
+        # The anchor is the memory operation.
+        assert program.instructions[graph.anchor_index].is_load
+
+
+class TestFigure2MgtContents:
+    def test_mght_rows_match_figure2(self):
+        left = Program.from_assembly("gcc-left", LEFT_SNIPPET)
+        right = Program.from_assembly("gcc-right", RIGHT_SNIPPET)
+        left_graph = [c for c in enumerate_minigraphs(left)
+                      if [t.op for t in c.template.instructions] == ["addqi", "cmplt", "bne"]][0]
+        right_graph = [c for c in enumerate_minigraphs(right)
+                       if [t.op for t in c.template.instructions] == ["ldq", "srli", "andi"]][0]
+        mgt = MiniGraphTable.from_templates([left_graph.template, right_graph.template])
+        integer_header = mgt.header(0)
+        memory_header = mgt.header(1)
+        # Figure 2: MGID 12 has LAT 1 (output from the first instruction) and
+        # executes on the ALU pipeline; MGID 34 has LAT 4 and starts on the
+        # load port with an empty second bank.
+        assert integer_header.lat == 1
+        assert integer_header.fu0.startswith("AP")
+        assert memory_header.lat == 4
+        assert memory_header.fu0 == "LD"
+        assert mgt.banks(1)[1] is None
+
+    def test_logical_format_mentions_interface_names(self):
+        program = Program.from_assembly("gcc-right", RIGHT_SNIPPET)
+        graph = [c for c in enumerate_minigraphs(program)
+                 if c.template.has_load and c.template.size == 3][0]
+        mgt = MiniGraphTable.from_templates([graph.template])
+        text = mgt.format_logical(0)
+        assert "ldq" in text and "E0" in text and "M1" in text
+
+
+class TestFigure3LifeCycle:
+    def test_handle_consumes_one_slot_per_stage(self):
+        program = Program.from_assembly("gcc-left", LEFT_SNIPPET)
+        baseline_run = run_program(program, max_instructions=4000)
+        selection = _select(program)
+        assert selection.template_count >= 1
+        mgt = MiniGraphTable.from_selection(selection)
+        rewritten = rewrite_program(program, selection.rewrite_sites()).program
+        rewritten_run = run_program(rewritten, mgt=mgt, max_instructions=4000)
+
+        baseline_stats = simulate_program(program, baseline_run.trace, baseline_config())
+        minigraph_stats = simulate_program(rewritten, rewritten_run.trace,
+                                           integer_memory_minigraph_config(), mgt=mgt)
+        # Same architectural work...
+        assert minigraph_stats.committed_instructions == baseline_stats.committed_instructions
+        # ...but fewer pipeline slots: the handle is fetched/renamed/retired once.
+        assert minigraph_stats.committed_slots < baseline_stats.committed_slots
+        assert minigraph_stats.committed_handles > 0
+        # And fewer fetch slots consumed overall.
+        assert minigraph_stats.fetched_slots < baseline_stats.fetched_slots

@@ -1,0 +1,210 @@
+"""End-to-end tests of the cycle-level timing model."""
+
+import pytest
+
+from repro import prepare_minigraph_run
+from repro.minigraph import DEFAULT_POLICY, INTEGER_POLICY
+from repro.program import Program
+from repro.sim import run_program
+from repro.uarch import (
+    TimingSimulator,
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+    simulate_program,
+)
+from repro.workloads import load_benchmark
+
+BUDGET = 6_000
+
+
+def _baseline_stats(source_or_program, config=None, budget=BUDGET):
+    program = (source_or_program if isinstance(source_or_program, Program)
+               else Program.from_assembly("timing", source_or_program))
+    functional = run_program(program, max_instructions=budget)
+    return simulate_program(program, functional.trace, config or baseline_config())
+
+
+SERIAL_CHAIN = """
+  clr r1
+  ldi r2, 1000
+loop:
+  addqi r1,1,r1
+  cmplt r1,r2,r3
+  bne r3,loop
+  halt
+"""
+
+INDEPENDENT_OPS = """
+  clr r1
+  ldi r2, 500
+loop:
+  addqi r3,1,r3
+  addqi r4,1,r4
+  addqi r5,1,r5
+  addqi r6,1,r6
+  addqi r1,1,r1
+  cmplt r1,r2,r7
+  bne r7,loop
+  halt
+"""
+
+
+class TestBaselinePipeline:
+    def test_all_work_retires(self):
+        stats = _baseline_stats(SERIAL_CHAIN)
+        assert stats.committed_instructions == BUDGET or stats.committed_instructions > 2900
+
+    def test_ipc_bounded_by_machine_width(self):
+        stats = _baseline_stats(INDEPENDENT_OPS)
+        assert 0.0 < stats.ipc <= baseline_config().fetch_width
+
+    def test_dependent_chain_is_slower_than_independent_ops(self):
+        serial = _baseline_stats(SERIAL_CHAIN)
+        parallel = _baseline_stats(INDEPENDENT_OPS)
+        assert parallel.ipc > serial.ipc
+
+    def test_two_cycle_scheduler_hurts_dependent_code(self):
+        fast = _baseline_stats(SERIAL_CHAIN)
+        slow = _baseline_stats(SERIAL_CHAIN, baseline_config().with_scheduler_latency(2))
+        assert slow.ipc < fast.ipc
+
+    def test_narrow_machine_hurts_parallel_code(self):
+        wide = _baseline_stats(INDEPENDENT_OPS)
+        narrow = _baseline_stats(INDEPENDENT_OPS,
+                                 baseline_config().with_width(2, execute_width=2,
+                                                              load_ports=1))
+        assert narrow.ipc < wide.ipc
+
+    def test_branch_mispredictions_are_counted(self):
+        # Data-dependent branch pattern the predictor cannot fully learn.
+        source = """
+        .data noise 13 7 22 5 91 3 64 17 38 2 55 29 8 71 44 19
+          la r16, noise
+          ldi r18, 16
+          clr r10
+          clr r11
+        loop:
+          s8addl r10,r16,r8
+          ldq r2,0(r8)
+          andi r2,1,r3
+          beq r3,even
+          addqi r11,1,r11
+        even:
+          addqi r10,1,r10
+          andi r10,15,r10
+          addqi r12,1,r12
+          cmplti r12,600,r9
+          bne r9,loop
+          halt
+        """
+        stats = _baseline_stats(source)
+        assert stats.branch_lookups > 0
+        assert stats.branch_mispredictions > 0
+        assert stats.branch_misprediction_rate < 0.6
+
+    def test_cache_misses_slow_execution(self):
+        # Strided accesses over a footprint larger than the 32KB L1.
+        source = """
+        .space big 8192
+          la r16, big
+          clr r10
+          ldi r18, 2000
+        loop:
+          andi r10,4095,r2
+          s8addl r2,r16,r8
+          ldq r3,0(r8)
+          addq r11,r3,r11
+          addqi r10,67,r10
+          addqi r12,1,r12
+          cmplt r12,r18,r9
+          bne r9,loop
+          halt
+        """
+        stats = _baseline_stats(source, budget=12_000)
+        assert stats.dcache_misses > 0
+        small_footprint = _baseline_stats(SERIAL_CHAIN)
+        assert stats.ipc < small_footprint.ipc * 2
+
+    def test_register_file_pressure(self):
+        full = _baseline_stats(INDEPENDENT_OPS)
+        tiny = _baseline_stats(INDEPENDENT_OPS, baseline_config().with_physical_registers(72))
+        assert tiny.ipc <= full.ipc
+        assert tiny.stall_no_physical_register > 0
+
+
+class TestMiniGraphPipeline:
+    def test_handles_retire_and_amplify_bandwidth(self):
+        run = prepare_minigraph_run(load_benchmark("gsm.toast"), budget=BUDGET)
+        stats = run.minigraph_stats(integer_memory_minigraph_config())
+        assert stats.committed_handles > 0
+        assert stats.dynamic_coverage > 0.1
+        assert stats.committed_instructions > stats.committed_slots
+
+    def test_minigraphs_speed_up_bandwidth_bound_code(self):
+        run = prepare_minigraph_run(load_benchmark("adpcm.encode"),
+                                    policy=INTEGER_POLICY, budget=BUDGET)
+        baseline = run.baseline_stats()
+        minigraph = run.minigraph_stats(integer_minigraph_config())
+        assert minigraph.ipc > baseline.ipc
+
+    def test_same_committed_work_as_baseline(self):
+        run = prepare_minigraph_run(load_benchmark("frag"), budget=BUDGET)
+        baseline = run.baseline_stats()
+        minigraph = run.minigraph_stats(integer_memory_minigraph_config())
+        assert minigraph.committed_instructions == baseline.committed_instructions
+
+    def test_collapsing_is_at_least_as_fast(self):
+        from repro.minigraph import MgtBuildOptions
+        program = load_benchmark("bitcount")
+        plain = prepare_minigraph_run(program, policy=INTEGER_POLICY, budget=BUDGET)
+        collapsed = prepare_minigraph_run(program, policy=INTEGER_POLICY, budget=BUDGET,
+                                          mgt_options=MgtBuildOptions(collapsing=True))
+        plain_ipc = plain.minigraph_stats(integer_minigraph_config()).ipc
+        collapsed_ipc = collapsed.minigraph_stats(
+            integer_minigraph_config(collapsing=True)).ipc
+        assert collapsed_ipc >= plain_ipc * 0.98
+
+    def test_integer_memory_handles_require_sliding_window(self):
+        run = prepare_minigraph_run(load_benchmark("rtr"), budget=BUDGET)
+        with pytest.raises(Exception):
+            run.minigraph_stats(integer_minigraph_config())  # no sliding window
+
+    def test_minigraphs_help_reduced_register_file(self):
+        run = prepare_minigraph_run(load_benchmark("frag"), budget=BUDGET)
+        reduced = baseline_config().with_physical_registers(124)
+        baseline_reduced = simulate_program(run.original, run.baseline_result.trace, reduced)
+        minigraph_reduced = simulate_program(
+            run.rewritten, run.rewritten_result.trace,
+            reduced.with_minigraph_alu_pipelines(2).with_sliding_window(), mgt=run.mgt)
+        assert minigraph_reduced.ipc > baseline_reduced.ipc
+
+    def test_minigraphs_tolerate_two_cycle_scheduler(self):
+        run = prepare_minigraph_run(load_benchmark("bitcount"), budget=BUDGET)
+        base = baseline_config()
+        slow = base.with_scheduler_latency(2)
+        baseline_slow = simulate_program(run.original, run.baseline_result.trace, slow)
+        minigraph_slow = simulate_program(
+            run.rewritten, run.rewritten_result.trace,
+            slow.with_minigraph_alu_pipelines(2).with_sliding_window(), mgt=run.mgt)
+        assert minigraph_slow.ipc > baseline_slow.ipc
+
+    def test_interior_load_misses_cause_replays(self):
+        run = prepare_minigraph_run(load_benchmark("mcf"), budget=10_000)
+        stats = run.minigraph_stats(integer_memory_minigraph_config())
+        assert stats.minigraph_replays > 0
+
+    def test_compressed_layout_reduces_icache_pressure(self):
+        run = prepare_minigraph_run(load_benchmark("gcc"), budget=BUDGET)
+        config = integer_memory_minigraph_config()
+        padded = simulate_program(run.rewritten, run.rewritten_result.trace, config,
+                                  mgt=run.mgt, compressed_layout=False)
+        compressed = simulate_program(run.rewritten, run.rewritten_result.trace, config,
+                                      mgt=run.mgt, compressed_layout=True)
+        assert compressed.icache_misses <= padded.icache_misses
+
+    def test_stats_dictionary_is_complete(self):
+        stats = _baseline_stats(SERIAL_CHAIN)
+        table = stats.as_dict()
+        assert table["cycles"] > 0
+        assert "ipc" in table and "dynamic_coverage" in table
