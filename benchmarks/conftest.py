@@ -19,14 +19,11 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentRunner
+from repro.workloads import QUICK_BENCHMARKS as _QUICK_BENCHMARKS
 
-#: Representative kernels per suite used by the quick (default) configuration.
-QUICK_BENCHMARKS = [
-    "gcc", "mcf", "crafty", "gzip",               # SPECint-like
-    "adpcm.encode", "gsm.toast", "mpeg2.decode", "jpeg.compress",  # MediaBench-like
-    "frag", "rtr", "reed.encode", "cast.encrypt",  # CommBench-like
-    "bitcount", "sha", "crc", "susan.smoothing",   # MiBench-like
-]
+#: Representative kernels per suite used by the quick (default) configuration
+#: (shared with the ``repro figure`` CLI default).
+QUICK_BENCHMARKS = list(_QUICK_BENCHMARKS)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -3,6 +3,9 @@
 Shows how mini-graphs let a processor with a 40%-smaller in-flight register
 file, a 4-wide pipeline or a pipelined (2-cycle) scheduler recover most of
 the performance of the full 6-wide baseline — the paper's Section 6.3.
+Every timing run goes through one :class:`repro.api.Session`, so the
+functional artifacts (profile, selection, rewritten binary, traces) are
+built once and every scenario reuses them from the artifact store.
 
 Run with::
 
@@ -13,7 +16,8 @@ from __future__ import annotations
 
 import sys
 
-from repro import baseline_config, load_benchmark, prepare_minigraph_run, simulate_program
+from repro.api import RunSpec, Session
+from repro.uarch import baseline_config
 
 
 def relative(value: float, reference: float) -> str:
@@ -22,10 +26,11 @@ def relative(value: float, reference: float) -> str:
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "frag"
-    run = prepare_minigraph_run(load_benchmark(benchmark), budget=12_000)
+    session = Session()
+    spec = RunSpec(benchmark=benchmark, budget=12_000)
 
     full = baseline_config()
-    reference = simulate_program(run.original, run.baseline_result.trace, full).ipc
+    reference = session.baseline_timing(spec, full).ipc
     print(f"{benchmark}: full 6-wide / 164-register baseline IPC = {reference:.2f}\n")
     print(f"{'configuration':34s} {'baseline':>9s} {'mini-graphs':>12s}")
 
@@ -38,11 +43,9 @@ def main() -> None:
         ("2-cycle (pipelined) scheduler", full.with_scheduler_latency(2)),
     ]
     for label, machine in scenarios:
-        baseline_ipc = simulate_program(run.original, run.baseline_result.trace,
-                                        machine).ipc
+        baseline_ipc = session.baseline_timing(spec, machine).ipc
         minigraph_machine = machine.with_minigraph_alu_pipelines(2).with_sliding_window()
-        minigraph_ipc = simulate_program(run.rewritten, run.rewritten_result.trace,
-                                         minigraph_machine, mgt=run.mgt).ipc
+        minigraph_ipc = session.minigraph_timing(spec, minigraph_machine).ipc
         print(f"{label:34s} {relative(baseline_ipc, reference):>9s} "
               f"{relative(minigraph_ipc, reference):>12s}")
 

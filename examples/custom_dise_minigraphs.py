@@ -5,7 +5,8 @@ handle is a DISE codeword, interface registers are template parameters,
 interior dataflow uses the dedicated DISE register set).  A DISE-equipped
 processor expands an unknown handle the first time it sees it, the MGPP
 compiles and approves it, and from then on the handle stays in-line so the
-execution core can exploit the mini-graph.
+execution core can exploit the mini-graph.  The selection itself comes from
+the cached :class:`repro.api.Session` stage graph.
 
 Run with::
 
@@ -16,18 +17,20 @@ from __future__ import annotations
 
 import sys
 
-from repro import load_benchmark, prepare_minigraph_run
+from repro.api import RunSpec, Session
 from repro.dise import DiseEngine, productions_for_selection
 from repro.isa.instruction import make_handle
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "frag"
-    run = prepare_minigraph_run(load_benchmark(benchmark), budget=10_000)
+    session = Session()
+    spec = RunSpec(benchmark=benchmark, budget=10_000)
+    selection = session.selection(spec)
 
-    productions = productions_for_selection(run.selection)
+    productions = productions_for_selection(selection)
     print(f"{benchmark}: exported {len(productions)} DISE productions "
-          f"for {run.selection.template_count} selected mini-graphs")
+          f"for {selection.template_count} selected mini-graphs")
     for production in productions[:3]:
         body = " ; ".join(template.op for template in production.replacement)
         print(f"  <mg codeword {production.pattern.codeword_id}> : {body}")
@@ -37,7 +40,7 @@ def main() -> None:
 
     # First decode of each handle misses in the MGTT: DISE expands it and the
     # MGPP compiles/approves the template.  Second decode keeps it in-line.
-    for selected in run.selection.selected:
+    for selected in selection.selected:
         handle = make_handle(1, 2, 3, selected.mgid)
         first = engine.decode(handle)
         second = engine.decode(handle)
@@ -45,9 +48,9 @@ def main() -> None:
         print(f"  MGID {selected.mgid:3d}: first decode expanded into "
               f"{len(first.instructions)} instructions, second decode {verdict}")
 
-    approved = sum(1 for selected in run.selection.selected
+    approved = sum(1 for selected in selection.selected
                    if engine.mgtt.is_approved(selected.mgid))
-    print(f"\nMGPP approved {approved}/{run.selection.template_count} productions; "
+    print(f"\nMGPP approved {approved}/{selection.template_count} productions; "
           f"{engine.expansions} expansions were performed while commissioning")
     print(f"the MGPP-compiled MGT now holds {len(engine.mgt)} entries")
 

@@ -5,6 +5,8 @@ The script assembles a loop containing the paper's two idioms (the
 idiom), extracts the mini-graphs, prints the handle-rewritten code, the
 logical MGT (Figure 1c), the physical MGHT/MGST (Figure 2), and finally the
 handle life-cycle statistics that reproduce Figure 3's bandwidth argument.
+The ad-hoc program goes through :meth:`repro.api.RunSpec.for_program`, which
+content-hashes the program so even unregistered code is cacheable.
 
 Run with::
 
@@ -13,12 +15,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    baseline_config,
-    integer_memory_minigraph_config,
-    prepare_minigraph_run,
-)
+from repro.api import RunSpec, Session
 from repro.program import Program
+from repro.uarch import baseline_config, integer_memory_minigraph_config
 
 SOURCE = """
 # A loop exercising both Figure 1 idioms.
@@ -46,24 +45,26 @@ loop:
 
 def main() -> None:
     program = Program.from_assembly("figure1", SOURCE)
-    run = prepare_minigraph_run(program, budget=2_000)
+    session = Session()
+    spec = RunSpec.for_program(program, budget=2_000)
+    artifacts = session.run(spec)
 
     print("=== original code ===")
     print(program.disassemble())
 
     print("\n=== handle-rewritten code (interiors become nops) ===")
-    print(run.rewritten.disassemble())
+    print(artifacts.rewritten.disassemble())
 
     print("\n=== logical MGT (Figure 1c) ===")
-    for mgid in run.mgt.mgids():
-        print(" ", run.mgt.format_logical(mgid))
+    for mgid in artifacts.mgt.mgids():
+        print(" ", artifacts.mgt.format_logical(mgid))
 
     print("\n=== physical MGHT / MGST (Figure 2) ===")
-    for mgid in run.mgt.mgids():
-        print(" ", run.mgt.format_physical(mgid))
+    for mgid in artifacts.mgt.mgids():
+        print(" ", artifacts.mgt.format_physical(mgid))
 
-    baseline = run.baseline_stats(baseline_config())
-    minigraph = run.minigraph_stats(integer_memory_minigraph_config())
+    baseline = session.baseline_timing(spec, baseline_config())
+    minigraph = session.minigraph_timing(spec, integer_memory_minigraph_config())
     print("\n=== Figure 3: bandwidth amplification ===")
     print(f"original instructions committed : {baseline.committed_instructions}")
     print(f"baseline pipeline slots         : {baseline.committed_slots}")

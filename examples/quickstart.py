@@ -3,7 +3,9 @@
 The flow is exactly the paper's tool chain: profile the program, enumerate
 and select mini-graphs by coverage, rewrite the binary with handles, build
 the MGT, and compare the cycle-level performance of a mini-graph processor
-against the 6-wide baseline.
+against the 6-wide baseline.  A declarative :class:`repro.api.RunSpec`
+describes the run; the :class:`repro.api.Session` executes (and caches)
+every stage.
 
 Run with::
 
@@ -14,34 +16,28 @@ from __future__ import annotations
 
 import sys
 
-from repro import (
-    baseline_config,
-    integer_memory_minigraph_config,
-    load_benchmark,
-    prepare_minigraph_run,
-)
+from repro.api import RunSpec, Session
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "gsm.toast"
-    program = load_benchmark(benchmark)
-    print(f"benchmark: {benchmark} ({len(program)} static instructions)")
+    session = Session()
+    spec = RunSpec(benchmark=benchmark, budget=15_000)
 
-    run = prepare_minigraph_run(program, budget=15_000)
-
-    print(f"selected {run.selection.template_count} mini-graph templates "
-          f"covering {run.selection.coverage * 100:.1f}% of dynamic instructions")
+    artifacts = session.run(spec)
+    print(f"benchmark: {benchmark} ({len(artifacts.program)} static instructions)")
+    print(f"selected {artifacts.selection.template_count} mini-graph templates "
+          f"covering {artifacts.selection.coverage * 100:.1f}% of dynamic instructions")
     print("\nfirst few MGT entries (physical MGHT/MGST format):")
-    for mgid in run.mgt.mgids()[:3]:
-        print(" ", run.mgt.format_physical(mgid))
+    for mgid in artifacts.mgt.mgids()[:3]:
+        print(" ", artifacts.mgt.format_physical(mgid))
 
-    baseline = run.baseline_stats(baseline_config())
-    minigraph = run.minigraph_stats(integer_memory_minigraph_config())
-
+    baseline = artifacts.baseline_timing
+    minigraph = artifacts.timing
     print(f"\nbaseline     : {baseline.cycles} cycles, IPC {baseline.ipc:.2f}")
     print(f"mini-graphs  : {minigraph.cycles} cycles, IPC {minigraph.ipc:.2f} "
           f"({minigraph.committed_handles} handles retired)")
-    print(f"speedup      : {(minigraph.ipc / baseline.ipc - 1.0) * 100:+.1f}%")
+    print(f"speedup      : {(artifacts.speedup - 1.0) * 100:+.1f}%")
     print(f"slots saved  : {baseline.committed_slots - minigraph.committed_slots} "
           f"pipeline slots over the run")
 

@@ -1,0 +1,41 @@
+"""Unified pipeline API: declarative specs in, cached artifacts out.
+
+This package is the single front door to the reproduction's tool chain:
+
+* :class:`RunSpec` — a frozen, declarative description of one end-to-end run
+  (benchmark, input, budget, policy, machine config, MGT options) that
+  normalizes into a stable content hash;
+* :class:`Session` — the stage graph ``assemble -> profile -> select ->
+  rewrite -> build_mgt -> trace -> time`` with typed artifacts, plus
+  :meth:`Session.map` process-pool fan-out for multi-benchmark sweeps;
+* :class:`ArtifactStore` — the in-memory + on-disk content-addressed cache
+  (keyed by spec hash, stage and ``repro.__version__``) that lets repeated
+  runs skip redundant simulation entirely;
+* a command-line interface, reachable as ``python -m repro`` (see
+  :mod:`repro.api.cli`).
+
+The legacy entry points — :func:`repro.prepare_minigraph_run` and
+:class:`repro.experiments.ExperimentRunner` — are thin compatibility shims
+over this API.
+"""
+
+from .keys import canonical_key, content_hash
+from .spec import STAGES, RunSpec, SpecError
+from .store import ArtifactStore, CacheStats, StoreInfo, default_cache_dir
+from .session import ProfileArtifact, RunArtifacts, Session, SessionStats
+
+__all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "ProfileArtifact",
+    "RunArtifacts",
+    "RunSpec",
+    "STAGES",
+    "Session",
+    "SessionStats",
+    "SpecError",
+    "StoreInfo",
+    "canonical_key",
+    "content_hash",
+    "default_cache_dir",
+]

@@ -1,0 +1,323 @@
+"""``python -m repro``: the command-line front end of :mod:`repro.api`.
+
+Sub-commands:
+
+* ``repro run BENCHMARK`` — one end-to-end mini-graph run;
+* ``repro figure {5,6,7,8,extras}`` — regenerate a figure of the paper;
+* ``repro bench`` — sweep a benchmark suite through :meth:`Session.map`;
+* ``repro cache {info,clear}`` — inspect / drop the on-disk artifact cache.
+
+Every command accepts ``--cache-dir`` (defaulting to ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``) and ``--no-disk-cache``; ``--json`` switches the report
+from rendered text to JSON built on :mod:`repro.experiments.reporting`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..experiments.reporting import ResultTable
+from ..workloads.base import WorkloadError
+from ..minigraph.mgt import MgtBuildOptions
+from ..minigraph.policies import (
+    DEFAULT_POLICY,
+    INTEGER_POLICY,
+    NON_SERIAL_NON_REPLAY_POLICY,
+    SelectionPolicy,
+)
+from ..uarch.config import (
+    MachineConfig,
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+)
+from ..workloads import QUICK_BENCHMARKS, REGISTRY
+from .session import Session
+from .spec import RunSpec, SpecError
+from .store import ArtifactStore, default_cache_dir
+
+_POLICIES: Dict[str, Optional[SelectionPolicy]] = {
+    "int-mem": DEFAULT_POLICY,
+    "int": INTEGER_POLICY,
+    "nonserial": NON_SERIAL_NON_REPLAY_POLICY,
+    "baseline": None,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dataflow mini-graphs reproduction (Bracy, Prahlad & Roth, "
+                    "MICRO-37 2004): unified pipeline driver.")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk artifact cache directory "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="keep artifacts in memory only")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report instead of rendered text")
+    parser.add_argument("--stats", action="store_true",
+                        help="append session/cache statistics to the report")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="one end-to-end mini-graph run")
+    run.add_argument("benchmark", help="registered benchmark name (e.g. gsm.toast)")
+    run.add_argument("--input", default="reference", help="benchmark input set")
+    run.add_argument("--budget", type=int, default=15_000,
+                     help="dynamic-instruction budget")
+    run.add_argument("--policy", choices=sorted(_POLICIES), default="int-mem",
+                     help="selection policy family")
+    run.add_argument("--max-size", type=int, default=None,
+                     help="override the maximum mini-graph size")
+    run.add_argument("--mgt-entries", type=int, default=None,
+                     help="override the MGT capacity")
+    run.add_argument("--machine", choices=("default", "baseline", "int", "int-mem"),
+                     default="default", help="timing configuration")
+    run.add_argument("--collapsing", action="store_true",
+                     help="pair-wise collapsing ALU pipelines")
+    run.add_argument("--compressed", action="store_true",
+                     help="compressed (nop-free) code layout")
+
+    figure = commands.add_parser("figure", help="regenerate a figure of the paper")
+    figure.add_argument("number", choices=("5", "6", "7", "8", "extras"),
+                        help="figure to regenerate")
+    figure.add_argument("--benchmarks", nargs="+", default=None,
+                        help="benchmark subset (default: a representative kernel "
+                             "per suite, or the figure's own set)")
+    figure.add_argument("--budget", type=int, default=8_000,
+                        help="dynamic-instruction budget per benchmark")
+    figure.add_argument("--full", action="store_true",
+                        help="sweep every registered benchmark")
+
+    bench = commands.add_parser("bench", help="sweep a suite through Session.map")
+    bench.add_argument("--suite", default=None,
+                       help="suite to sweep (spec, media, comm, embedded); "
+                            "default: all suites")
+    bench.add_argument("--limit", type=int, default=None,
+                       help="truncate the benchmark list")
+    bench.add_argument("--budget", type=int, default=8_000,
+                       help="dynamic-instruction budget per benchmark")
+    bench.add_argument("--policy", choices=sorted(_POLICIES), default="int-mem",
+                       help="selection policy family")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (1 = serial)")
+
+    cache = commands.add_parser("cache", help="inspect or clear the artifact cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    return parser
+
+
+def _cache_dir(args: argparse.Namespace) -> Optional[str]:
+    if args.no_disk_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return str(default_cache_dir())
+
+
+def _policy(name: str, max_size: Optional[int] = None,
+            mgt_entries: Optional[int] = None) -> Optional[SelectionPolicy]:
+    policy = _POLICIES[name]
+    if policy is None:
+        return None
+    if max_size is not None:
+        policy = policy.with_max_size(max_size)
+    if mgt_entries is not None:
+        policy = policy.with_mgt_entries(mgt_entries)
+    return policy
+
+
+def _machine(name: str, collapsing: bool) -> Optional[MachineConfig]:
+    if name == "default":
+        return None
+    if name == "baseline":
+        return baseline_config()
+    if name == "int":
+        return integer_minigraph_config(collapsing=collapsing)
+    return integer_memory_minigraph_config(collapsing=collapsing)
+
+
+def _json_cell(value: Any) -> Any:
+    """NaN is not valid JSON; surface it as null."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def _table_to_dict(table: ResultTable) -> Dict[str, Any]:
+    return {"title": table.title, "columns": list(table.columns),
+            "rows": {row: {column: _json_cell(value)
+                           for column, value in cells.items()}
+                     for row, cells in table.rows.items()},
+            "suites": dict(table.row_suites), "notes": list(table.notes)}
+
+
+def _emit(args: argparse.Namespace, session: Optional[Session],
+          text: str, payload: Dict[str, Any]) -> None:
+    if args.stats and session is not None:
+        payload["session_stats"] = session.stats.as_dict()
+        payload["cache_stats"] = session.cache_stats.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(text)
+    if args.stats and session is not None:
+        print(f"\nsession stats : {session.stats.as_dict()}")
+        print(f"cache stats   : {session.cache_stats.as_dict()}")
+
+
+# -- sub-commands -------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    session = Session(cache_dir=_cache_dir(args))
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        input_name=args.input,
+        budget=args.budget,
+        policy=_policy(args.policy, args.max_size, args.mgt_entries),
+        machine=_machine(args.machine, args.collapsing),
+        mgt_options=MgtBuildOptions(collapsing=args.collapsing),
+        compressed_layout=args.compressed,
+    )
+    artifacts = session.run(spec)
+    report = artifacts.report()
+    lines = [f"benchmark     : {spec.label} ({args.input}, budget {args.budget})",
+             f"spec hash     : {spec.spec_hash}"]
+    if artifacts.selection is not None:
+        lines.append(f"templates     : {artifacts.selection.template_count} "
+                     f"(coverage {artifacts.coverage * 100:.1f}%)")
+    lines.append(f"baseline      : {artifacts.baseline_timing.cycles} cycles, "
+                 f"IPC {artifacts.baseline_timing.ipc:.2f} "
+                 f"({spec.resolved_baseline_machine.name})")
+    lines.append(f"this machine  : {artifacts.timing.cycles} cycles, "
+                 f"IPC {artifacts.timing.ipc:.2f} ({spec.resolved_machine.name})")
+    speedup = report["speedup"]
+    lines.append("speedup       : " +
+                 ("n/a (baseline retired nothing)" if speedup is None
+                  else f"{(speedup - 1.0) * 100.0:+.1f}%"))
+    _emit(args, session, "\n".join(lines), report)
+    return 0
+
+
+def _figure_benchmarks(args: argparse.Namespace) -> Optional[List[str]]:
+    if args.benchmarks is not None:
+        return list(args.benchmarks)
+    if args.full:
+        return None  # harness default: every registered benchmark
+    return list(QUICK_BENCHMARKS)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    # Imported here to keep CLI start-up cheap and avoid import cycles.
+    from ..experiments import (
+        ExperimentRunner,
+        run_figure5,
+        run_figure6,
+        run_figure7,
+        run_figure8,
+        run_icache_effect,
+        run_robustness,
+    )
+    session = Session(cache_dir=_cache_dir(args))
+    runner = ExperimentRunner(budget=args.budget, session=session)
+    names = _figure_benchmarks(args)
+    number = args.number
+    if number == "5":
+        result = run_figure5(runner, benchmarks=names)
+        tables = [result.integer.table, result.integer_memory.table,
+                  result.domain.table]
+        text = result.render()
+    elif number == "6":
+        result = run_figure6(runner, benchmarks=names)
+        tables = [result.table]
+        text = result.render()
+    elif number == "7":
+        result = run_figure7(runner, benchmarks=args.benchmarks)
+        tables = [result.table]
+        text = result.render()
+    elif number == "8":
+        result = run_figure8(runner, benchmarks=names)
+        tables = [result.register_table, result.bandwidth_table]
+        text = result.render()
+    else:
+        robustness = run_robustness(runner, benchmarks=names)
+        icache = run_icache_effect(
+            runner, benchmarks=[n for n in (names or runner.benchmarks("spec"))
+                                if REGISTRY.get(n).suite == "spec"])
+        tables = [icache.table]
+        text = robustness.render() + "\n\n" + icache.render()
+    payload: Dict[str, Any] = {"figure": number,
+                               "tables": [_table_to_dict(table) for table in tables]}
+    _emit(args, session, text, payload)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    session = Session(cache_dir=_cache_dir(args))
+    names = REGISTRY.names(args.suite)
+    if args.limit is not None:
+        names = names[:args.limit]
+    if not names:
+        print(f"no benchmarks in suite {args.suite!r}", file=sys.stderr)
+        return 1
+    policy = _policy(args.policy)
+    specs = [RunSpec(benchmark=name, budget=args.budget, policy=policy)
+             for name in names]
+    results = session.map(specs, workers=args.workers)
+    table = ResultTable(title=f"bench sweep (budget {args.budget}, "
+                              f"policy {args.policy})",
+                        columns=["coverage", "base-ipc", "ipc", "speedup"])
+    for artifacts in results:
+        name = artifacts.spec.label
+        suite = REGISTRY.get(name).suite
+        table.add(name, "coverage", artifacts.coverage, suite=suite)
+        table.add(name, "base-ipc", artifacts.baseline_timing.ipc, suite=suite)
+        table.add(name, "ipc", artifacts.timing.ipc, suite=suite)
+        table.add(name, "speedup", artifacts.speedup, suite=suite)
+    payload = {"bench": _table_to_dict(table),
+               "results": [artifacts.report() for artifacts in results]}
+    _emit(args, session, table.render(), payload)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache_dir = _cache_dir(args)
+    store = ArtifactStore(cache_dir)
+    if args.action == "info":
+        info = store.info()
+        payload = {"cache_dir": info.cache_dir,
+                   "disk_entries": info.disk_entries,
+                   "disk_bytes": info.disk_bytes}
+        _emit(args, None, info.render(), payload)
+        return 0
+    removed = store.clear()
+    _emit(args, None, f"removed {removed} cached artifacts",
+          {"removed": removed, "cache_dir": cache_dir})
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        return _cmd_cache(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
+        return 0
+    except (WorkloadError, SpecError) as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,355 @@
+"""The stage-graph session: one front door for the whole pipeline.
+
+A :class:`Session` materializes the paper's tool chain
+
+    assemble -> profile -> select -> rewrite -> build_mgt -> trace -> time
+
+as named stages with typed artifacts.  Every stage result is cached in an
+:class:`~repro.api.store.ArtifactStore` under a content-addressed key derived
+from the :class:`~repro.api.spec.RunSpec`, the stage name and
+``repro.__version__`` — so repeated experiment and benchmark runs (within a
+process via the memory layer, across processes via the disk layer) skip
+redundant simulation entirely.  :meth:`Session.map` fans independent specs
+out across a process pool for multi-benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..minigraph.mgt import MiniGraphTable
+from ..minigraph.selection import SelectionResult, select_minigraphs
+from ..program.profile import BlockProfile
+from ..program.program import Program
+from ..program.rewriter import rewrite_program
+from ..sim.functional import run_program
+from ..sim.trace import Trace
+from ..uarch.config import MachineConfig
+from ..uarch.pipeline import simulate_program
+from ..uarch.stats import PipelineStats
+from ..workloads import load_benchmark
+from .keys import canonical_key, content_hash
+from .spec import RunSpec
+from .store import MISS, ArtifactStore, CacheStats
+
+
+@dataclass
+class ProfileArtifact:
+    """Output of the ``profile`` stage: the baseline functional run."""
+
+    profile: BlockProfile
+    trace: Trace
+
+
+@dataclass
+class SessionStats:
+    """How much actual work (vs cache reuse) a session performed."""
+
+    assemble_runs: int = 0
+    functional_runs: int = 0
+    selection_runs: int = 0
+    rewrite_runs: int = 0
+    mgt_builds: int = 0
+    timing_runs: int = 0
+
+    @property
+    def simulations(self) -> int:
+        """Functional plus timing simulations actually executed."""
+        return self.functional_runs + self.timing_runs
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"assemble_runs": self.assemble_runs,
+                "functional_runs": self.functional_runs,
+                "selection_runs": self.selection_runs,
+                "rewrite_runs": self.rewrite_runs,
+                "mgt_builds": self.mgt_builds,
+                "timing_runs": self.timing_runs}
+
+    def merge(self, other: "SessionStats") -> None:
+        """Accumulate another session's work (e.g. a map() worker's)."""
+        self.assemble_runs += other.assemble_runs
+        self.functional_runs += other.functional_runs
+        self.selection_runs += other.selection_runs
+        self.rewrite_runs += other.rewrite_runs
+        self.mgt_builds += other.mgt_builds
+        self.timing_runs += other.timing_runs
+
+
+@dataclass
+class RunArtifacts:
+    """Everything :meth:`Session.run` produces for one spec."""
+
+    spec: RunSpec
+    program: Program
+    profile: BlockProfile
+    baseline_trace: Trace
+    timing: PipelineStats
+    baseline_timing: PipelineStats
+    selection: Optional[SelectionResult] = None
+    mgt: Optional[MiniGraphTable] = None
+    rewritten: Optional[Program] = None
+    minigraph_trace: Optional[Trace] = None
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of dynamic instructions absorbed into handles."""
+        if self.minigraph_trace is None:
+            return 0.0
+        return self.minigraph_trace.dynamic_coverage()
+
+    @property
+    def speedup(self) -> float:
+        """IPC of this spec's machine relative to its baseline machine.
+
+        ``nan`` when the baseline retired nothing — a silent 1.0 would hide
+        a broken reference run.
+        """
+        if self.baseline_timing.ipc == 0.0:
+            return float("nan")
+        return self.timing.ipc / self.baseline_timing.ipc
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-friendly result summary."""
+        speedup = self.speedup
+        return {
+            "spec": self.spec.describe(),
+            "coverage": self.coverage,
+            "baseline_ipc": self.baseline_timing.ipc,
+            "ipc": self.timing.ipc,
+            "speedup": None if math.isnan(speedup) else speedup,
+            "cycles": self.timing.cycles,
+            "baseline_cycles": self.baseline_timing.cycles,
+            "templates": None if self.selection is None else self.selection.template_count,
+        }
+
+
+class Session:
+    """Caching, stage-graph front door to the mini-graph pipeline."""
+
+    def __init__(self, *, store: Optional[ArtifactStore] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 workers: Optional[int] = None,
+                 version: Optional[str] = None) -> None:
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either a store or a cache_dir, not both")
+        self._store = store if store is not None else ArtifactStore(cache_dir)
+        self._workers = workers
+        if version is None:
+            from .. import __version__
+            version = __version__
+        self._version = version
+        self.stats = SessionStats()
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self._store
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._store.stats
+
+    @property
+    def version(self) -> str:
+        return self._version
+
+    # -- keying / caching ----------------------------------------------------------
+
+    def _key(self, stage: str, spec: RunSpec, extra: Tuple[Any, ...] = ()) -> str:
+        material = (self._version, stage) + spec.stage_material(stage) + extra
+        return f"{stage}-{content_hash(material)}"
+
+    def _stage(self, stage: str, spec: RunSpec, compute: Callable[[], Any],
+               extra: Tuple[Any, ...] = ()) -> Any:
+        key = self._key(stage, spec, extra)
+        value = self._store.get(key)
+        if value is not MISS:
+            return value
+        value = compute()
+        self._store.put(key, value)
+        return value
+
+    # -- individual stages ---------------------------------------------------------
+
+    def program(self, spec: RunSpec) -> Program:
+        """Stage ``assemble``: the program image for the spec's source."""
+        def compute() -> Program:
+            self.stats.assemble_runs += 1
+            if spec.program is not None:
+                return spec.program
+            return load_benchmark(spec.benchmark, spec.input_name)
+        return self._stage("assemble", spec, compute)
+
+    def _profile_artifact(self, spec: RunSpec) -> ProfileArtifact:
+        def compute() -> ProfileArtifact:
+            self.stats.functional_runs += 1
+            result = run_program(self.program(spec), max_instructions=spec.budget)
+            return ProfileArtifact(profile=result.profile, trace=result.trace)
+        return self._stage("profile", spec, compute)
+
+    def profile(self, spec: RunSpec) -> BlockProfile:
+        """Stage ``profile``: basic-block frequencies of the baseline run."""
+        return self._profile_artifact(spec).profile
+
+    def baseline_trace(self, spec: RunSpec) -> Trace:
+        """Stage ``profile``: committed-order trace of the baseline run."""
+        return self._profile_artifact(spec).trace
+
+    def selection(self, spec: RunSpec) -> SelectionResult:
+        """Stage ``select``: greedy coverage-driven mini-graph selection."""
+        if spec.policy is None:
+            raise ValueError(f"{spec.label}: baseline-only specs have no selection")
+        def compute() -> SelectionResult:
+            self.stats.selection_runs += 1
+            return select_minigraphs(self.program(spec), self.profile(spec),
+                                     policy=spec.policy)
+        return self._stage("select", spec, compute)
+
+    def rewritten(self, spec: RunSpec) -> Program:
+        """Stage ``rewrite``: the handle-rewritten binary."""
+        def compute() -> Program:
+            self.stats.rewrite_runs += 1
+            sites = self.selection(spec).rewrite_sites()
+            return rewrite_program(self.program(spec), sites).program
+        return self._stage("rewrite", spec, compute)
+
+    def mgt(self, spec: RunSpec) -> MiniGraphTable:
+        """Stage ``build_mgt``: the MGHT/MGST for the selection."""
+        def compute() -> MiniGraphTable:
+            self.stats.mgt_builds += 1
+            return MiniGraphTable.from_selection(self.selection(spec),
+                                                 spec.resolved_mgt_options)
+        return self._stage("build_mgt", spec, compute)
+
+    def minigraph_trace(self, spec: RunSpec) -> Trace:
+        """Stage ``trace``: functional run of the rewritten binary."""
+        def compute() -> Trace:
+            self.stats.functional_runs += 1
+            result = run_program(self.rewritten(spec), mgt=self.mgt(spec),
+                                 max_instructions=spec.budget)
+            return result.trace
+        return self._stage("trace", spec, compute)
+
+    # -- timing --------------------------------------------------------------------
+
+    def baseline_timing(self, spec: RunSpec,
+                        machine: Optional[MachineConfig] = None) -> PipelineStats:
+        """Stage ``time``: cycle-simulate the *original* program on ``machine``."""
+        config = machine if machine is not None else spec.resolved_baseline_machine
+        def compute() -> PipelineStats:
+            self.stats.timing_runs += 1
+            return simulate_program(self.program(spec), self.baseline_trace(spec),
+                                    config)
+        return self._stage("time_baseline", spec, compute,
+                           extra=(canonical_key(config),))
+
+    def minigraph_timing(self, spec: RunSpec,
+                         machine: Optional[MachineConfig] = None) -> PipelineStats:
+        """Stage ``time``: cycle-simulate the rewritten program with its MGT."""
+        if spec.policy is None:
+            raise ValueError(f"{spec.label}: baseline-only specs have no "
+                             "mini-graph timing; use baseline_timing")
+        config = machine if machine is not None else spec.resolved_machine
+        def compute() -> PipelineStats:
+            self.stats.timing_runs += 1
+            return simulate_program(self.rewritten(spec), self.minigraph_trace(spec),
+                                    config, mgt=self.mgt(spec),
+                                    compressed_layout=spec.compressed_layout)
+        return self._stage("time", spec, compute,
+                           extra=("minigraph", canonical_key(config),
+                                  spec.compressed_layout))
+
+    def timing(self, spec: RunSpec) -> PipelineStats:
+        """Timing statistics of the spec itself (baseline or mini-graph)."""
+        if spec.policy is None:
+            return self.baseline_timing(spec, spec.resolved_machine)
+        return self.minigraph_timing(spec)
+
+    def speedup(self, spec: RunSpec) -> float:
+        """Relative IPC of the spec's machine over its baseline machine.
+
+        Returns ``nan`` (rather than a misleading 1.0) when the baseline
+        retired no instructions.
+        """
+        baseline = self.baseline_timing(spec)
+        timing = self.timing(spec)
+        if baseline.ipc == 0.0:
+            return float("nan")
+        return timing.ipc / baseline.ipc
+
+    # -- end-to-end ----------------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunArtifacts:
+        """Run (or reuse) the full stage graph for one spec."""
+        program = self.program(spec)
+        profile_artifact = self._profile_artifact(spec)
+        if spec.policy is None:
+            timing = self.baseline_timing(spec, spec.resolved_machine)
+            return RunArtifacts(
+                spec=spec, program=program,
+                profile=profile_artifact.profile,
+                baseline_trace=profile_artifact.trace,
+                timing=timing,
+                baseline_timing=self.baseline_timing(spec))
+        return RunArtifacts(
+            spec=spec, program=program,
+            profile=profile_artifact.profile,
+            baseline_trace=profile_artifact.trace,
+            selection=self.selection(spec),
+            mgt=self.mgt(spec),
+            rewritten=self.rewritten(spec),
+            minigraph_trace=self.minigraph_trace(spec),
+            timing=self.minigraph_timing(spec),
+            baseline_timing=self.baseline_timing(spec))
+
+    def map(self, specs: Iterable[RunSpec], *,
+            workers: Optional[int] = None) -> List[RunArtifacts]:
+        """Run independent specs, fanning out across a process pool.
+
+        Results come back in input order and are bit-identical to serial
+        execution (every stage is deterministic).  ``workers=0`` or ``1``
+        forces serial in-process execution; the default sizes the pool to
+        ``min(len(specs), cpu_count)``.  Workers share this session's disk
+        cache (when one is configured), so artifacts computed in the pool are
+        reused by later in-process runs.
+        """
+        specs = list(specs)
+        if workers is None:
+            workers = self._workers
+        if workers is None:
+            workers = min(len(specs), os.cpu_count() or 1)
+        if workers <= 1 or len(specs) <= 1:
+            return [self.run(spec) for spec in specs]
+        cache_dir = self._store.cache_dir
+        jobs = [(spec, None if cache_dir is None else str(cache_dir), self._version)
+                for spec in specs]
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+                outcomes = list(pool.map(_run_spec_job, jobs))
+        except (OSError, PermissionError):
+            # Process pools can be unavailable in restricted environments;
+            # fall back to the (identical) serial execution.
+            return [self.run(spec) for spec in specs]
+        # Fold the workers' accounting back in, so --stats and cache-hit
+        # assertions see the work the pool actually performed.
+        results: List[RunArtifacts] = []
+        for artifacts, worker_stats, worker_cache in outcomes:
+            results.append(artifacts)
+            self.stats.merge(worker_stats)
+            self._store.stats.memory_hits += worker_cache.memory_hits
+            self._store.stats.disk_hits += worker_cache.disk_hits
+            self._store.stats.misses += worker_cache.misses
+            self._store.stats.puts += worker_cache.puts
+        return results
+
+
+def _run_spec_job(job: Tuple[RunSpec, Optional[str], str]
+                  ) -> Tuple[RunArtifacts, SessionStats, CacheStats]:
+    """Process-pool worker: run one spec in a fresh session."""
+    spec, cache_dir, version = job
+    session = Session(cache_dir=cache_dir, version=version)
+    artifacts = session.run(spec)
+    return artifacts, session.stats, session.cache_stats

@@ -1,0 +1,233 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` names everything one end-to-end mini-graph run depends on:
+the benchmark (or an ad-hoc :class:`~repro.program.program.Program`), the
+input set, the dynamic-instruction budget, the selection policy, the MGT
+build options, the machine configurations and the code-layout mode.  A spec
+is a frozen value object: it normalizes into a stable content hash
+(:attr:`RunSpec.spec_hash`) and into per-stage cache-key material
+(:meth:`RunSpec.stage_material`), which is what makes artifact caching
+content-addressed rather than identity-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..minigraph.mgt import MgtBuildOptions
+from ..minigraph.policies import DEFAULT_POLICY, SelectionPolicy
+from ..program.program import Program
+from ..uarch.config import (
+    MachineConfig,
+    baseline_config,
+    integer_memory_minigraph_config,
+    integer_minigraph_config,
+)
+from .keys import canonical_key, content_hash
+
+#: Stage names, in pipeline order.  ``assemble`` produces the program,
+#: ``profile`` the baseline functional run, ``select`` the mini-graph
+#: selection, ``rewrite`` the handle-rewritten binary, ``build_mgt`` the
+#: MGHT/MGST tables, ``trace`` the rewritten functional run and ``time`` a
+#: cycle-level simulation.
+STAGES: Tuple[str, ...] = (
+    "assemble", "profile", "select", "rewrite", "build_mgt", "trace", "time",
+)
+
+
+class SpecError(ValueError):
+    """Raised for malformed run specifications."""
+
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """Complete declarative description of one mini-graph pipeline run.
+
+    Equality and hashing are content-based: two specs are equal exactly when
+    they resolve to the same normalized identity (including the content hash
+    of an ad-hoc program), so specs are safe to use as dictionary keys.
+
+    Attributes:
+        benchmark: registered benchmark name (``repro.workloads``); may be
+            ``None`` when an ad-hoc ``program`` is supplied.
+        input_name: benchmark input set ("reference", "train", ...).
+        budget: dynamic-instruction budget for the functional runs.
+        policy: selection policy; ``None`` means a baseline-only run (no
+            selection, rewriting or MGT).
+        machine: timing configuration for the (mini-graph) machine; ``None``
+            picks the paper's default for the policy.
+        baseline_machine: reference configuration for speedups; ``None``
+            means the paper's 6-wide baseline.
+        mgt_options: MGHT/MGST build options; ``None`` means defaults.
+        compressed_layout: model the compressed (nop-free) code layout.
+        program: ad-hoc program overriding ``benchmark``; content-hashed so
+            caching still works.
+    """
+
+    benchmark: Optional[str] = None
+    input_name: str = "reference"
+    budget: int = 15_000
+    policy: Optional[SelectionPolicy] = DEFAULT_POLICY
+    machine: Optional[MachineConfig] = None
+    baseline_machine: Optional[MachineConfig] = None
+    mgt_options: Optional[MgtBuildOptions] = None
+    compressed_layout: bool = False
+    program: Optional[Program] = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.benchmark is None and self.program is None:
+            raise SpecError("a RunSpec needs a benchmark name or a program")
+        if self.benchmark is not None and self.program is not None:
+            # Allowing both would cache the ad-hoc program's artifacts under
+            # the registered benchmark's keys, poisoning the shared store.
+            raise SpecError("a RunSpec takes a benchmark name or a program, not both")
+        if self.budget <= 0:
+            raise SpecError(f"budget must be positive, got {self.budget}")
+
+    # -- construction helpers -----------------------------------------------------
+
+    @classmethod
+    def for_program(cls, program: Program, **kwargs: Any) -> "RunSpec":
+        """Spec for an ad-hoc (unregistered) program."""
+        return cls(program=program, **kwargs)
+
+    def with_policy(self, policy: Optional[SelectionPolicy]) -> "RunSpec":
+        return replace(self, policy=policy)
+
+    def with_machine(self, machine: Optional[MachineConfig]) -> "RunSpec":
+        return replace(self, machine=machine)
+
+    def with_baseline_machine(self, machine: Optional[MachineConfig]) -> "RunSpec":
+        return replace(self, baseline_machine=machine)
+
+    def with_budget(self, budget: int) -> "RunSpec":
+        return replace(self, budget=budget)
+
+    def with_input(self, input_name: str) -> "RunSpec":
+        return replace(self, input_name=input_name)
+
+    def with_mgt_options(self, options: Optional[MgtBuildOptions]) -> "RunSpec":
+        return replace(self, mgt_options=options)
+
+    def with_compressed_layout(self, compressed: bool = True) -> "RunSpec":
+        return replace(self, compressed_layout=compressed)
+
+    def baseline_only(self) -> "RunSpec":
+        """Variant with no mini-graphs at all."""
+        return replace(self, policy=None)
+
+    # -- resolution ----------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Human-readable name of the run's program."""
+        if self.benchmark is not None:
+            return self.benchmark
+        return self.program.name  # type: ignore[union-attr]
+
+    @property
+    def source_id(self) -> str:
+        """Content-addressed identity of the program source."""
+        if self.benchmark is not None:
+            return self.benchmark
+        # Hashing walks the whole program; memoize (the spec is frozen, so
+        # the digest can never change).
+        cached = self.__dict__.get("_source_id")
+        if cached is None:
+            cached = "adhoc-" + content_hash(self.program)
+            object.__setattr__(self, "_source_id", cached)
+        return cached
+
+    @property
+    def resolved_mgt_options(self) -> MgtBuildOptions:
+        return self.mgt_options if self.mgt_options is not None else MgtBuildOptions()
+
+    @property
+    def resolved_machine(self) -> MachineConfig:
+        """The machine this spec runs on (paper default for its policy)."""
+        if self.machine is not None:
+            return self.machine
+        if self.policy is None:
+            return baseline_config()
+        collapsing = self.resolved_mgt_options.collapsing
+        if self.policy.allow_memory:
+            return integer_memory_minigraph_config(collapsing=collapsing)
+        return integer_minigraph_config(collapsing=collapsing)
+
+    @property
+    def resolved_baseline_machine(self) -> MachineConfig:
+        return self.baseline_machine if self.baseline_machine is not None \
+            else baseline_config()
+
+    # -- keying --------------------------------------------------------------------
+
+    def stage_material(self, stage: str) -> Tuple[Any, ...]:
+        """Cache-key material for ``stage``: exactly the spec fields that
+        stage's output depends on, so unrelated spec changes still share
+        artifacts (e.g. every policy reuses one profile)."""
+        source = (self.source_id, self.input_name)
+        if stage == "assemble":
+            return source
+        if stage == "profile":
+            return source + (self.budget,)
+        if stage in ("select", "rewrite"):
+            return source + (self.budget, canonical_key(self.policy))
+        if stage == "build_mgt":
+            return source + (self.budget, canonical_key(self.policy),
+                             canonical_key(self.resolved_mgt_options))
+        if stage in ("trace", "time"):
+            return source + (self.budget, canonical_key(self.policy),
+                             canonical_key(self.resolved_mgt_options))
+        if stage == "time_baseline":
+            # Baseline timing simulates the *original* program and trace; it
+            # depends on neither the policy nor the MGT options, so every
+            # policy variant shares one artifact.
+            return source + (self.budget,)
+        raise SpecError(f"unknown stage {stage!r}; expected one of {STAGES}")
+
+    def _identity(self) -> Tuple[Any, ...]:
+        """The fully-normalized spec as a hashable tuple."""
+        return (
+            self.source_id, self.input_name, self.budget,
+            canonical_key(self.policy),
+            canonical_key(self.resolved_machine),
+            canonical_key(self.resolved_baseline_machine),
+            canonical_key(self.resolved_mgt_options),
+            self.compressed_layout,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable content hash of the fully-normalized spec."""
+        return content_hash(self._identity())
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly summary used by reports and the CLI."""
+        return {
+            "benchmark": self.label,
+            "input": self.input_name,
+            "budget": self.budget,
+            "policy": None if self.policy is None else {
+                "max_size": self.policy.max_size,
+                "allow_memory": self.policy.allow_memory,
+                "allow_branches": self.policy.allow_branches,
+                "allow_externally_serial": self.policy.allow_externally_serial,
+                "allow_internally_parallel": self.policy.allow_internally_parallel,
+                "allow_interior_loads": self.policy.allow_interior_loads,
+                "max_templates": self.policy.max_templates,
+            },
+            "machine": self.resolved_machine.name,
+            "baseline_machine": self.resolved_baseline_machine.name,
+            "collapsing": self.resolved_mgt_options.collapsing,
+            "compressed_layout": self.compressed_layout,
+            "spec_hash": self.spec_hash,
+        }

@@ -1,0 +1,167 @@
+"""Content-addressed artifact store: an in-memory layer over an on-disk cache.
+
+Keys are opaque strings produced by the :class:`~repro.api.session.Session`
+from stage name, spec material and package version, so a bump of
+``repro.__version__`` naturally invalidates every persisted artifact.  Values
+are arbitrary picklable stage artifacts (programs, profiles, traces, MGTs,
+timing statistics).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """Cache location used by the CLI: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one store."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "puts": self.puts}
+
+
+@dataclass
+class StoreInfo:
+    """Snapshot of a store's contents (``repro cache info``)."""
+
+    cache_dir: Optional[str]
+    memory_entries: int
+    disk_entries: int
+    disk_bytes: int
+
+    def render(self) -> str:
+        lines = [f"cache directory : {self.cache_dir or '(memory only)'}",
+                 f"memory entries  : {self.memory_entries}",
+                 f"disk entries    : {self.disk_entries}",
+                 f"disk bytes      : {self.disk_bytes}"]
+        return "\n".join(lines)
+
+
+class ArtifactStore:
+    """Two-level (memory + optional disk) cache for pipeline artifacts."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        self._memory: Dict[str, Any] = {}
+        self._cache_dir: Optional[Path] = Path(cache_dir) if cache_dir is not None else None
+        self.stats = CacheStats()
+
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self._cache_dir
+
+    # -- lookup / insert -----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self._cache_dir is not None
+        return self._cache_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """Cached value for ``key``, or :data:`MISS`."""
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self._cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with path.open("rb") as handle:
+                        value = pickle.load(handle)
+                except Exception:
+                    # A truncated or unreadable entry is just a miss.
+                    path.unlink(missing_ok=True)
+                else:
+                    self.stats.disk_hits += 1
+                    self._memory[key] = value
+                    return value
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert ``value`` into the memory layer and, if enabled, the disk layer."""
+        self._memory[key] = value
+        self.stats.puts += 1
+        if self._cache_dir is None:
+            return
+        self._cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        # Write-then-rename so concurrent readers (Session.map workers sharing
+        # one cache directory) never observe a partial pickle.
+        fd, tmp_name = tempfile.mkstemp(dir=str(self._cache_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self._cache_dir is not None and self._path(key).exists()
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def _disk_entries(self) -> Iterator[Path]:
+        if self._cache_dir is None or not self._cache_dir.is_dir():
+            return iter(())
+        return iter(sorted(self._cache_dir.glob("*.pkl")))
+
+    def clear(self, *, memory: bool = True, disk: bool = True) -> int:
+        """Drop cached artifacts; returns the number of disk entries removed."""
+        if memory:
+            self._memory.clear()
+        removed = 0
+        if disk:
+            for path in self._disk_entries():
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def info(self) -> StoreInfo:
+        disk_entries = 0
+        disk_bytes = 0
+        for path in self._disk_entries():
+            disk_entries += 1
+            try:
+                disk_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return StoreInfo(
+            cache_dir=str(self._cache_dir) if self._cache_dir is not None else None,
+            memory_entries=len(self._memory),
+            disk_entries=disk_entries,
+            disk_bytes=disk_bytes)

@@ -16,11 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..api.spec import RunSpec
 from ..minigraph.coverage import RobustnessReport, robustness_report
 from ..minigraph.policies import DEFAULT_POLICY, SelectionPolicy
-from ..sim.functional import run_program
 from ..uarch.config import baseline_config, integer_memory_minigraph_config
-from ..workloads import REGISTRY, load_benchmark
+from ..workloads import REGISTRY
 from .reporting import ResultTable, arithmetic_mean
 from .runner import ExperimentRunner
 
@@ -54,13 +54,14 @@ def run_robustness(runner: ExperimentRunner, *,
     result = RobustnessResult()
     for name in names:
         reference = runner.baseline(name)
-        train_program = load_benchmark(name, "train")
-        train_run = run_program(train_program, max_instructions=runner.budget)
+        train_spec = RunSpec(benchmark=name, input_name="train",
+                             budget=runner.budget, policy=policy)
+        train_profile = runner.session.profile(train_spec)
         # Both programs share the same static shape (only the data segment and
         # trip counts differ), so block ids line up and the train profile can
         # be used directly against the reference program.
         result.reports[name] = robustness_report(
-            reference.program, reference.profile, train_run.profile, policy=policy)
+            reference.program, reference.profile, train_profile, policy=policy)
     return result
 
 

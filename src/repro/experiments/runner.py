@@ -1,29 +1,34 @@
-"""Shared experiment runner with artifact caching.
+"""Shared experiment runner — a compatibility shim over :mod:`repro.api`.
 
 Every figure of the evaluation needs the same building blocks per benchmark:
 the assembled program, its basic-block profile, a baseline trace, and — for
 each mini-graph policy — the selection, the MGT, the rewritten program and
-its trace.  Building them is the expensive part, so the runner caches them
-and every experiment harness reuses one runner instance.
+its trace.  All of that now lives behind :class:`repro.api.Session`, whose
+content-addressed :class:`~repro.api.store.ArtifactStore` replaces the
+hand-maintained memo dictionaries this module used to keep (and whose cache
+keys are derived from :func:`dataclasses.fields`, so growing
+:class:`~repro.minigraph.policies.SelectionPolicy` can no longer silently
+alias cache entries).  The :class:`ExperimentRunner` interface is unchanged;
+harnesses keep calling it, the session underneath does the caching.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..api.keys import canonical_key
+from ..api.session import Session
+from ..api.spec import RunSpec
 from ..minigraph.mgt import MgtBuildOptions, MiniGraphTable
 from ..minigraph.policies import SelectionPolicy
-from ..minigraph.selection import SelectionResult, select_minigraphs
+from ..minigraph.selection import SelectionResult
 from ..program.profile import BlockProfile
 from ..program.program import Program
-from ..program.rewriter import rewrite_program
-from ..sim.functional import run_program
 from ..sim.trace import Trace
 from ..uarch.config import MachineConfig
-from ..uarch.pipeline import simulate_program
 from ..uarch.stats import PipelineStats
-from ..workloads import REGISTRY, load_benchmark
+from ..workloads import REGISTRY
 
 
 @dataclass
@@ -46,20 +51,24 @@ class MiniGraphArtifacts:
 
 
 def _policy_key(policy: SelectionPolicy) -> Tuple:
-    return (policy.max_size, policy.allow_memory, policy.allow_branches,
-            policy.allow_externally_serial, policy.allow_internally_parallel,
-            policy.allow_interior_loads, policy.max_templates)
+    """Canonical cache key for a policy, derived from its dataclass fields."""
+    return canonical_key(policy)
 
 
 class ExperimentRunner:
-    """Builds and caches everything the experiment harnesses need."""
+    """Builds and caches everything the experiment harnesses need.
 
-    def __init__(self, *, budget: int = 15_000, input_name: str = "reference") -> None:
+    A thin view over :class:`repro.api.Session`: pass ``session`` to share
+    artifacts (and a disk cache) with other runners or with the CLI.
+    """
+
+    def __init__(self, *, budget: int = 15_000, input_name: str = "reference",
+                 session: Optional[Session] = None) -> None:
         self._budget = budget
         self._input_name = input_name
-        self._baseline: Dict[str, BaselineArtifacts] = {}
-        self._minigraph: Dict[Tuple, MiniGraphArtifacts] = {}
-        self._timing: Dict[Tuple, PipelineStats] = {}
+        self._session = session if session is not None else Session()
+        self._baseline_views: Dict[str, BaselineArtifacts] = {}
+        self._minigraph_views: Dict[Tuple, MiniGraphArtifacts] = {}
 
     @property
     def budget(self) -> int:
@@ -69,16 +78,35 @@ class ExperimentRunner:
     def input_name(self) -> str:
         return self._input_name
 
+    @property
+    def session(self) -> Session:
+        """The underlying pipeline session (shared artifact store)."""
+        return self._session
+
+    # -- spec construction ----------------------------------------------------------
+
+    def _spec(self, benchmark: str, policy: Optional[SelectionPolicy] = None, *,
+              collapsing: bool = False, compressed_layout: bool = False) -> RunSpec:
+        return RunSpec(
+            benchmark=benchmark,
+            input_name=self._input_name,
+            budget=self._budget,
+            policy=policy,
+            mgt_options=MgtBuildOptions(collapsing=collapsing),
+            compressed_layout=compressed_layout,
+        )
+
     # -- artifact construction ------------------------------------------------------
 
     def baseline(self, benchmark: str) -> BaselineArtifacts:
         """Assemble, profile and trace ``benchmark`` without mini-graphs."""
-        if benchmark not in self._baseline:
-            program = load_benchmark(benchmark, self._input_name)
-            result = run_program(program, max_instructions=self._budget)
-            self._baseline[benchmark] = BaselineArtifacts(
-                program=program, profile=result.profile, trace=result.trace)
-        return self._baseline[benchmark]
+        if benchmark not in self._baseline_views:
+            spec = self._spec(benchmark)
+            self._baseline_views[benchmark] = BaselineArtifacts(
+                program=self._session.program(spec),
+                profile=self._session.profile(spec),
+                trace=self._session.baseline_trace(spec))
+        return self._baseline_views[benchmark]
 
     def minigraph(self, benchmark: str, policy: SelectionPolicy, *,
                   collapsing: bool = False) -> MiniGraphArtifacts:
@@ -89,53 +117,44 @@ class ExperimentRunner:
         the rewritten binary are identical).
         """
         key = (benchmark, _policy_key(policy), collapsing)
-        if key not in self._minigraph:
-            baseline = self.baseline(benchmark)
-            selection = select_minigraphs(baseline.program, baseline.profile, policy=policy)
-            options = MgtBuildOptions(collapsing=collapsing)
-            mgt = MiniGraphTable.from_selection(selection, options)
-            rewritten = rewrite_program(baseline.program, selection.rewrite_sites())
-            result = run_program(rewritten.program, mgt=mgt,
-                                 max_instructions=self._budget)
-            self._minigraph[key] = MiniGraphArtifacts(
-                selection=selection, mgt=mgt, program=rewritten.program,
-                trace=result.trace)
-        return self._minigraph[key]
+        if key not in self._minigraph_views:
+            spec = self._spec(benchmark, policy, collapsing=collapsing)
+            self._minigraph_views[key] = MiniGraphArtifacts(
+                selection=self._session.selection(spec),
+                mgt=self._session.mgt(spec),
+                program=self._session.rewritten(spec),
+                trace=self._session.minigraph_trace(spec))
+        return self._minigraph_views[key]
 
     # -- timing runs ------------------------------------------------------------------
 
     def run_baseline(self, benchmark: str, config: MachineConfig) -> PipelineStats:
         """Timing-simulate the unmodified benchmark on ``config``."""
-        key = ("baseline", benchmark, config.name)
-        if key not in self._timing:
-            artifacts = self.baseline(benchmark)
-            self._timing[key] = simulate_program(artifacts.program, artifacts.trace, config)
-        return self._timing[key]
+        return self._session.baseline_timing(self._spec(benchmark), config)
 
     def run_minigraph(self, benchmark: str, policy: SelectionPolicy,
                       config: MachineConfig, *, collapsing: bool = False,
                       compressed_layout: bool = False) -> PipelineStats:
         """Timing-simulate the rewritten benchmark on a mini-graph machine."""
-        key = ("minigraph", benchmark, _policy_key(policy), config.name,
-               collapsing, compressed_layout)
-        if key not in self._timing:
-            artifacts = self.minigraph(benchmark, policy, collapsing=collapsing)
-            self._timing[key] = simulate_program(
-                artifacts.program, artifacts.trace, config, mgt=artifacts.mgt,
-                compressed_layout=compressed_layout)
-        return self._timing[key]
+        spec = self._spec(benchmark, policy, collapsing=collapsing,
+                          compressed_layout=compressed_layout)
+        return self._session.minigraph_timing(spec, config)
 
     def speedup(self, benchmark: str, policy: SelectionPolicy,
                 config: MachineConfig, *, baseline_config: MachineConfig,
                 collapsing: bool = False,
                 compressed_layout: bool = False) -> float:
-        """Relative performance of the mini-graph machine over the baseline."""
+        """Relative performance of the mini-graph machine over the baseline.
+
+        Returns ``nan`` (rather than a misleading 1.0) when the baseline
+        retired no instructions.
+        """
         baseline = self.run_baseline(benchmark, baseline_config)
         minigraph = self.run_minigraph(benchmark, policy, config,
                                        collapsing=collapsing,
                                        compressed_layout=compressed_layout)
         if baseline.ipc == 0.0:
-            return 1.0
+            return float("nan")
         return minigraph.ipc / baseline.ipc
 
     # -- benchmark enumeration -----------------------------------------------------------

@@ -259,6 +259,11 @@ class TimingSimulator:
         predicted = self._store_sets.predicted_store_for(inst.pc)
         if predicted is None:
             return True
+        # The LFST is updated at dispatch but consulted at issue, so it can
+        # name a store *younger* than the load; waiting on it would deadlock
+        # once the ROB fills behind the load.  Only older stores can forward.
+        if predicted >= inst.sequence:
+            return True
         for entry in self._lsq:
             if entry.sequence == predicted and entry.is_store and not entry.completed:
                 return False

@@ -35,6 +35,16 @@ if len(REGISTRY) == 0:  # pragma: no branch - guarded for re-import safety
     embedded.register()
 
 
+#: Representative kernels per suite — the quick default used by the CLI and
+#: the benchmark harness when no explicit benchmark list is given.
+QUICK_BENCHMARKS = (
+    "gcc", "mcf", "crafty", "gzip",                                # SPECint-like
+    "adpcm.encode", "gsm.toast", "mpeg2.decode", "jpeg.compress",  # MediaBench-like
+    "frag", "rtr", "reed.encode", "cast.encrypt",                  # CommBench-like
+    "bitcount", "sha", "crc", "susan.smoothing",                   # MiBench-like
+)
+
+
 def benchmark_names(suite: Optional[str] = None) -> List[str]:
     """Names of all registered benchmarks, optionally filtered by suite."""
     return REGISTRY.names(suite)
@@ -59,6 +69,7 @@ __all__ = [
     "Benchmark",
     "BenchmarkRegistry",
     "LinearCongruentialGenerator",
+    "QUICK_BENCHMARKS",
     "REGISTRY",
     "SUITE_NAMES",
     "SUITE_TITLES",
