@@ -43,8 +43,7 @@ def test_icache_compression_effect(benchmark, runner):
 def test_ablation_selection_order(benchmark, runner, benchmarks):
     """Ablation: greedy coverage-driven selection vs. a small MGT.
 
-    DESIGN.md calls out the selection ordering as a design choice worth
-    ablating; the measurable proxy recorded here is how much coverage a
+    The selection ordering is a design choice worth ablating; the measurable proxy recorded here is how much coverage a
     16-entry MGT retains compared to the 512-entry default, which is exactly
     what greedy ranking by benefit is supposed to maximise.
     """

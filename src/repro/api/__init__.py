@@ -7,7 +7,10 @@ This package is the single front door to the reproduction's tool chain:
   normalizes into a stable content hash;
 * :class:`Session` — the stage graph ``assemble -> profile -> select ->
   rewrite -> build_mgt -> trace -> time`` with typed artifacts, plus
-  :meth:`Session.map` process-pool fan-out for multi-benchmark sweeps;
+  :meth:`Session.map` process-pool fan-out for multi-benchmark sweeps and
+  the :meth:`Session.sweep` fast path that groups specs sharing upstream
+  artifacts (one functional profile per benchmark per pool, shared interned
+  decode metadata);
 * :class:`ArtifactStore` — the in-memory + on-disk content-addressed cache
   (keyed by spec hash, stage and ``repro.__version__``) that lets repeated
   runs skip redundant simulation entirely;
@@ -17,6 +20,10 @@ This package is the single front door to the reproduction's tool chain:
 The legacy entry points — :func:`repro.prepare_minigraph_run` and
 :class:`repro.experiments.ExperimentRunner` — are thin compatibility shims
 over this API.
+
+``docs/api.md`` documents the full contract, including the cache
+invalidation semantics (stage-scoped key material, field-derived canonical
+keys, version-based invalidation) and a ``map()``/``sweep()`` cookbook.
 """
 
 from .keys import canonical_key, content_hash

@@ -4,7 +4,10 @@ Sub-commands:
 
 * ``repro run BENCHMARK`` — one end-to-end mini-graph run;
 * ``repro figure {5,6,7,8,extras}`` — regenerate a figure of the paper;
-* ``repro bench`` — sweep a benchmark suite through :meth:`Session.map`;
+* ``repro bench`` — sweep a benchmark suite through :meth:`Session.sweep`,
+  optionally recording simulator throughput (``--record`` writes a
+  ``BENCH_*.json`` with simulated cycles/second; ``--compare`` embeds an
+  earlier record as the *before* half of a before/after pair);
 * ``repro cache {info,clear}`` — inspect / drop the on-disk artifact cache.
 
 Every command accepts ``--cache-dir`` (defaulting to ``$REPRO_CACHE_DIR`` or
@@ -18,6 +21,7 @@ import argparse
 import json
 import math
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..experiments.reporting import ResultTable
@@ -93,7 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--full", action="store_true",
                         help="sweep every registered benchmark")
 
-    bench = commands.add_parser("bench", help="sweep a suite through Session.map")
+    bench = commands.add_parser("bench", help="sweep a suite through Session.sweep")
     bench.add_argument("--suite", default=None,
                        help="suite to sweep (spec, media, comm, embedded); "
                             "default: all suites")
@@ -105,6 +109,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="selection policy family")
     bench.add_argument("--workers", type=int, default=None,
                        help="process-pool width (1 = serial)")
+    bench.add_argument("--record", nargs="?", const="", default=None,
+                       metavar="PATH",
+                       help="write a BENCH_<suite>.json simulator-throughput "
+                            "record (simulated cycles/second) to PATH "
+                            "(default: ./BENCH_<suite>.json)")
+    bench.add_argument("--compare", default=None, metavar="BENCH_JSON",
+                       help="earlier BENCH_*.json to embed as the 'before' "
+                            "half of a before/after throughput comparison")
 
     cache = commands.add_parser("cache", help="inspect or clear the artifact cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -265,10 +277,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not names:
         print(f"no benchmarks in suite {args.suite!r}", file=sys.stderr)
         return 1
+    if args.compare is not None and args.record is None:
+        print("repro: error: --compare requires --record (the comparison is "
+              "written into the new BENCH_*.json)", file=sys.stderr)
+        return 2
+    before: Optional[Dict[str, Any]] = None
+    if args.compare is not None:
+        # Read the baseline record up front: a missing or malformed file must
+        # fail before the sweep runs, not after the measurement is made.
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                before = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"repro: error: cannot read --compare file "
+                  f"{args.compare!r}: {error}", file=sys.stderr)
+            return 2
     policy = _policy(args.policy)
     specs = [RunSpec(benchmark=name, budget=args.budget, policy=policy)
              for name in names]
-    results = session.map(specs, workers=args.workers)
+    start = time.perf_counter()
+    results = session.sweep(specs, workers=args.workers)
+    wall_seconds = time.perf_counter() - start
     table = ResultTable(title=f"bench sweep (budget {args.budget}, "
                               f"policy {args.policy})",
                         columns=["coverage", "base-ipc", "ipc", "speedup"])
@@ -279,10 +308,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         table.add(name, "base-ipc", artifacts.baseline_timing.ipc, suite=suite)
         table.add(name, "ipc", artifacts.timing.ipc, suite=suite)
         table.add(name, "speedup", artifacts.speedup, suite=suite)
+    simulated_cycles = sum(artifacts.timing.cycles + artifacts.baseline_timing.cycles
+                           for artifacts in results)
+    cycles_per_second = simulated_cycles / wall_seconds if wall_seconds > 0 else 0.0
+    throughput = {"wall_seconds": wall_seconds,
+                  "simulated_cycles": simulated_cycles,
+                  "cycles_per_second": cycles_per_second}
+    text = (table.render()
+            + f"\n\nthroughput    : {cycles_per_second:,.0f} simulated cycles/s "
+              f"({simulated_cycles:,} cycles in {wall_seconds:.2f}s)")
     payload = {"bench": _table_to_dict(table),
-               "results": [artifacts.report() for artifacts in results]}
-    _emit(args, session, table.render(), payload)
+               "results": [artifacts.report() for artifacts in results],
+               "throughput": throughput}
+    if args.record is not None:
+        record_path = _write_bench_record(args, session, names, throughput,
+                                          before)
+        payload["record_path"] = record_path
+        text += f"\nrecorded      : {record_path}"
+    _emit(args, session, text, payload)
     return 0
+
+
+def _write_bench_record(args: argparse.Namespace, session: Session,
+                        names: List[str], throughput: Dict[str, Any],
+                        before: Optional[Dict[str, Any]]) -> str:
+    """Write the ``BENCH_*.json`` simulator-throughput record.
+
+    The record captures everything needed to compare simulator speed across
+    commits; with ``--compare OLD.json`` the previous measurement (already
+    parsed by the caller) is embedded under ``before`` so one file carries
+    the before/after pair.
+    """
+    record: Dict[str, Any] = {
+        "suite": args.suite or "all",
+        "budget": args.budget,
+        "policy": args.policy,
+        "workers": args.workers,
+        "benchmarks": list(names),
+        "version": session.version,
+        "recorded_at": time.time(),
+        **throughput,
+        # Cache context: with a warm artifact cache no simulation runs and
+        # cycles_per_second measures cache-load speed, not the simulator.
+        "session_stats": session.stats.as_dict(),
+        "cache_stats": session.cache_stats.as_dict(),
+    }
+    if session.stats.simulations == 0:
+        print("repro: warning: bench served entirely from the artifact cache; "
+              "the recorded cycles_per_second measures cache loading, not the "
+              "simulator (rerun with --no-disk-cache for a clean measurement)",
+              file=sys.stderr)
+    if before is not None:
+        record["before"] = {key: before.get(key) for key in
+                            ("wall_seconds", "simulated_cycles",
+                             "cycles_per_second", "version", "recorded_at")}
+        previous = before.get("cycles_per_second") or 0.0
+        if previous > 0:
+            record["speedup_vs_before"] = throughput["cycles_per_second"] / previous
+    path = args.record or f"BENCH_{args.suite or 'all'}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

@@ -10,7 +10,12 @@ from the :class:`~repro.api.spec.RunSpec`, the stage name and
 ``repro.__version__`` — so repeated experiment and benchmark runs (within a
 process via the memory layer, across processes via the disk layer) skip
 redundant simulation entirely.  :meth:`Session.map` fans independent specs
-out across a process pool for multi-benchmark sweeps.
+out across a process pool for multi-benchmark sweeps; :meth:`Session.sweep`
+is the fast path for machine/policy sweeps, grouping specs that share
+upstream artifacts so each benchmark is profiled once per pool and the
+interned decode metadata (:mod:`repro.uarch.decode`) is reused by every
+timing run of a group.  See ``docs/api.md`` for the full contract and
+cache-invalidation semantics.
 """
 
 from __future__ import annotations
@@ -317,39 +322,108 @@ class Session:
         reused by later in-process runs.
         """
         specs = list(specs)
-        if workers is None:
-            workers = self._workers
-        if workers is None:
-            workers = min(len(specs), os.cpu_count() or 1)
+        workers = self._resolve_workers(workers, len(specs))
         if workers <= 1 or len(specs) <= 1:
             return [self.run(spec) for spec in specs]
-        cache_dir = self._store.cache_dir
-        jobs = [(spec, None if cache_dir is None else str(cache_dir), self._version)
-                for spec in specs]
-        try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-                outcomes = list(pool.map(_run_spec_job, jobs))
-        except (OSError, PermissionError):
+        outcomes = self._fan_out([[spec] for spec in specs], workers)
+        if outcomes is None:
             # Process pools can be unavailable in restricted environments;
             # fall back to the (identical) serial execution.
             return [self.run(spec) for spec in specs]
-        # Fold the workers' accounting back in, so --stats and cache-hit
-        # assertions see the work the pool actually performed.
-        results: List[RunArtifacts] = []
-        for artifacts, worker_stats, worker_cache in outcomes:
-            results.append(artifacts)
+        return [artifacts for group in outcomes for artifacts in group]
+
+    def sweep(self, specs: Iterable[RunSpec], *,
+              workers: Optional[int] = None) -> List[RunArtifacts]:
+        """Fast-path :meth:`map`: group specs that share upstream artifacts.
+
+        :meth:`map` ships every spec to its own worker, so a sweep of N
+        machine configurations or policies over one benchmark re-derives the
+        shared prefix stages (assemble, profile, and often select/rewrite/
+        trace) N times — once per worker process.  ``sweep`` instead groups
+        specs by their profile-stage identity ``(source, input, budget)`` and
+        fans *groups* out across the pool: each group runs inside one worker
+        session, where the shared stages are computed once and the interned
+        decode/plan artifacts (:mod:`repro.uarch.decode`) are reused by every
+        timing run of the group.
+
+        Results come back in input order and are bit-identical to serial
+        execution and to :meth:`map` (every stage is deterministic).
+        ``workers=0`` or ``1`` forces serial in-process execution, which
+        still applies the same grouping so shared artifacts stay hot in the
+        memory cache.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        groups: Dict[Tuple[str, str, int], List[int]] = {}
+        for position, spec in enumerate(specs):
+            key = (spec.source_id, spec.input_name, spec.budget)
+            groups.setdefault(key, []).append(position)
+        positions_by_group = list(groups.values())
+        workers = self._resolve_workers(workers, len(groups))
+        results: List[Optional[RunArtifacts]] = [None] * len(specs)
+        outcomes = None
+        if workers > 1 and len(groups) > 1:
+            outcomes = self._fan_out(
+                [[specs[position] for position in positions]
+                 for positions in positions_by_group], workers)
+        if outcomes is None:
+            # Serial (or pool-unavailable fallback): group order keeps each
+            # benchmark's shared artifacts hot in the memory cache.
+            for positions in positions_by_group:
+                for position in positions:
+                    results[position] = self.run(specs[position])
+            return results  # type: ignore[return-value]
+        for positions, group_artifacts in zip(positions_by_group, outcomes):
+            for position, artifacts in zip(positions, group_artifacts):
+                results[position] = artifacts
+        return results  # type: ignore[return-value]
+
+    # -- pool plumbing shared by map() and sweep() ---------------------------------
+
+    def _resolve_workers(self, workers: Optional[int], job_count: int) -> int:
+        if workers is None:
+            workers = self._workers
+        if workers is None:
+            workers = min(job_count, os.cpu_count() or 1)
+        return workers
+
+    def _fan_out(self, groups: List[List[RunSpec]],
+                 workers: int) -> Optional[List[List[RunArtifacts]]]:
+        """Run spec groups across a process pool, one worker session each.
+
+        Returns the per-group artifact lists in input order, folding the
+        workers' accounting back in so ``--stats`` and cache-hit assertions
+        see the work the pool actually performed — or ``None`` when process
+        pools are unavailable (the caller falls back to serial execution).
+        """
+        cache_dir = self._store.cache_dir
+        cache_dir_name = None if cache_dir is None else str(cache_dir)
+        jobs = [(group, cache_dir_name, self._version) for group in groups]
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+                outcomes = list(pool.map(_run_group_job, jobs))
+        except (OSError, PermissionError):
+            return None
+        results: List[List[RunArtifacts]] = []
+        for group_artifacts, worker_stats, worker_cache in outcomes:
+            results.append(group_artifacts)
             self.stats.merge(worker_stats)
-            self._store.stats.memory_hits += worker_cache.memory_hits
-            self._store.stats.disk_hits += worker_cache.disk_hits
-            self._store.stats.misses += worker_cache.misses
-            self._store.stats.puts += worker_cache.puts
+            self._merge_cache_stats(worker_cache)
         return results
 
+    def _merge_cache_stats(self, worker_cache: CacheStats) -> None:
+        stats = self._store.stats
+        stats.memory_hits += worker_cache.memory_hits
+        stats.disk_hits += worker_cache.disk_hits
+        stats.misses += worker_cache.misses
+        stats.puts += worker_cache.puts
 
-def _run_spec_job(job: Tuple[RunSpec, Optional[str], str]
-                  ) -> Tuple[RunArtifacts, SessionStats, CacheStats]:
-    """Process-pool worker: run one spec in a fresh session."""
-    spec, cache_dir, version = job
+
+def _run_group_job(job: Tuple[List[RunSpec], Optional[str], str]
+                   ) -> Tuple[List[RunArtifacts], SessionStats, CacheStats]:
+    """Process-pool worker: run one artifact-sharing group in one session."""
+    group, cache_dir, version = job
     session = Session(cache_dir=cache_dir, version=version)
-    artifacts = session.run(spec)
+    artifacts = [session.run(spec) for spec in group]
     return artifacts, session.stats, session.cache_stats

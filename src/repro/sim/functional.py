@@ -14,7 +14,7 @@ mini-graph microarchitecture treats them as transient.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..isa.instruction import INSTRUCTION_BYTES, Instruction
 from ..isa.opcodes import OpClass
@@ -24,6 +24,7 @@ from ..minigraph.templates import OperandKind, OperandRef
 from ..program.basic_block import BlockIndex
 from ..program.profile import BlockProfile
 from ..program.program import Program
+from ..program.weakcache import PerProgramCache
 from .memory import Memory
 from .trace import Trace, TraceEntry
 
@@ -173,21 +174,151 @@ _ACCESS_SIZE = {"ldq": 8, "ldl": 4, "ldwu": 2, "ldbu": 1, "ldt": 8,
 _UNSIGNED_LOADS = {"ldbu", "ldwu", "ldq", "ldt"}
 
 
+#: Per-opcode branch predicates, resolved once at plan-build time instead of
+#: per committed branch; :func:`_branch_taken` delegates here.
+_BRANCH_FNS: Dict[str, Callable[[int], bool]] = {
+    "beq": lambda v: v == 0,
+    "bne": lambda v: v != 0,
+    "blt": lambda v: _signed(v) < 0,
+    "bge": lambda v: _signed(v) >= 0,
+    "bgt": lambda v: _signed(v) > 0,
+    "ble": lambda v: _signed(v) <= 0,
+}
+
+
 def _branch_taken(op: str, value: int) -> bool:
-    signed = _signed(value)
-    if op == "beq":
-        return value == 0
-    if op == "bne":
-        return value != 0
-    if op == "blt":
-        return signed < 0
-    if op == "bge":
-        return signed >= 0
-    if op == "bgt":
-        return signed > 0
-    if op == "ble":
-        return signed <= 0
-    raise SimulationError(f"not a conditional branch: {op}")
+    try:
+        return _BRANCH_FNS[op](value)
+    except KeyError:
+        raise SimulationError(f"not a conditional branch: {op}") from None
+
+#: Per-opcode FP semantics (FP values are carried as 64-bit integers; the
+#: workloads use FP only lightly, so fixed-point-style integer arithmetic is
+#: sufficient and keeps the register file uniform).
+_FP_FNS: Dict[str, Callable[[int, int], int]] = {
+    "addt": lambda a, b: _wrap(a + b),
+    "subt": lambda a, b: _wrap(a - b),
+    "mult": lambda a, b: _wrap(a * b),
+    "divt": lambda a, b: _wrap(a // b) if b else 0,
+    "sqrtt": lambda a, b: _wrap(int(_signed(a) ** 0.5)) if _signed(a) > 0 else 0,
+    "cmptlt": lambda a, b: int(_signed(a) < _signed(b)),
+    "cvtqt": lambda a, b: a,
+    "cvttq": lambda a, b: a,
+}
+
+
+# ---------------------------------------------------------------------------
+# Precompiled execution plans.
+#
+# The interpreter loop used to re-derive everything per committed instruction
+# — opcode spec, operand usage, basic block, trace-entry fields — although all
+# of it is static.  A *plan* precompiles each static instruction into a flat
+# dispatch tuple (kind code first) and interns the trace entries whose fields
+# are fully static (ALU results, both branch outcomes, direct jumps/calls),
+# so the hot loop is a table dispatch plus raw list/dict operations.  Plans
+# are cached per program in a process-wide id-keyed weak map, mirroring
+# :mod:`repro.uarch.decode`.
+# ---------------------------------------------------------------------------
+
+_K_NOP = 0
+_K_ALU = 1
+_K_CMOVNE = 2
+_K_CMOVEQ = 3
+_K_FP = 4
+_K_LOAD = 5
+_K_STORE = 6
+_K_BRANCH = 7
+_K_JUMP = 8
+_K_CALL = 9
+_K_INDIRECT = 10
+_K_HALT = 11
+_K_HANDLE = 12
+
+
+def _norm_reg(reg: Optional[int]) -> Optional[int]:
+    """Register number for reads/writes, None if absent or hardwired zero."""
+    if reg is None or is_zero_reg(reg):
+        return None
+    return reg
+
+
+def _build_plan(program: Program) -> List[Tuple[Any, ...]]:
+    """Compile ``program`` into per-index dispatch tuples.
+
+    The returned plan references instructions and interned trace entries but
+    never the program itself, so the plan cache cannot keep programs alive.
+    """
+    block_index = BlockIndex(program)
+    text_base = program.text_base
+    plan: List[Tuple[Any, ...]] = []
+    for index, insn in enumerate(program.instructions):
+        pc = text_base + index * INSTRUCTION_BYTES
+        next_pc = pc + INSTRUCTION_BYTES
+        spec = insn.spec
+        block = block_index.block_of_index(index)
+        first_useful = FunctionalSimulator._first_useful_index(block)
+        bid = block.block_id
+        inc = 1 if index in (block.start_index, first_useful) else 0
+        rd = _norm_reg(insn.rd)
+        rs1 = _norm_reg(insn.rs1)
+        rs2 = _norm_reg(insn.rs2)
+
+        if spec.op_class is OpClass.NOP:
+            plan.append((_K_NOP,))
+        elif spec.op_class is OpClass.MG:
+            plan.append((_K_HANDLE, insn, bid, inc))
+        elif spec.op_class in (OpClass.ALU, OpClass.MUL):
+            entry = TraceEntry(pc, index, 1, next_pc)
+            if insn.op == "cmovne":
+                plan.append((_K_CMOVNE, rd, rs1, rs2, entry, bid, inc))
+            elif insn.op == "cmoveq":
+                plan.append((_K_CMOVEQ, rd, rs1, rs2, entry, bid, inc))
+            else:
+                plan.append((_K_ALU, _ALU[insn.op], rd, rs1, rs2, insn.imm,
+                             entry, bid, inc))
+        elif spec.is_fp:
+            entry = TraceEntry(pc, index, 1, next_pc)
+            try:
+                fp_fn = _FP_FNS[insn.op]
+            except KeyError:
+                raise SimulationError(f"unknown FP opcode {insn.op}") from None
+            plan.append((_K_FP, fp_fn, rd, rs1, rs2, entry, bid, inc))
+        elif spec.is_load:
+            plan.append((_K_LOAD, _ACCESS_SIZE[insn.op],
+                         insn.op not in _UNSIGNED_LOADS, rd, rs1,
+                         insn.imm or 0, pc, next_pc, index, bid, inc))
+        elif spec.is_store:
+            plan.append((_K_STORE, _ACCESS_SIZE[insn.op], rs1, rs2,
+                         insn.imm or 0, pc, next_pc, index, bid, inc))
+        elif spec.op_class is OpClass.BRANCH:
+            target = insn.imm
+            taken_entry = TraceEntry(pc, index, 1, target,
+                                     is_control=True, taken=True)
+            fall_entry = TraceEntry(pc, index, 1, next_pc,
+                                    is_control=True, taken=False)
+            plan.append((_K_BRANCH, _BRANCH_FNS[insn.op], rs1, target,
+                         taken_entry, fall_entry, bid, inc))
+        elif spec.op_class is OpClass.JUMP:
+            entry = TraceEntry(pc, index, 1, insn.imm, is_control=True, taken=True)
+            plan.append((_K_JUMP, insn.imm, entry, bid, inc))
+        elif spec.op_class is OpClass.CALL:
+            entry = TraceEntry(pc, index, 1, insn.imm, is_control=True, taken=True)
+            plan.append((_K_CALL, rd, insn.imm, entry, bid, inc))
+        elif spec.op_class is OpClass.INDIRECT:
+            plan.append((_K_INDIRECT, rs1, pc, index, bid, inc))
+        elif spec.op_class is OpClass.HALT:
+            # halt is classified as a control transfer (CONTROL_CLASSES) but
+            # has no outcome: is_control=True, taken=None.
+            entry = TraceEntry(pc, index, 1, next_pc, is_control=True)
+            plan.append((_K_HALT, entry, bid, inc))
+        else:  # pragma: no cover - the opcode table has no other classes
+            raise SimulationError(f"cannot compile opcode {insn.op}")
+    return plan
+
+
+#: Only the plan is cached — a BlockIndex holds a strong reference to its
+#: program, which would pin every program in the cache forever.
+_PLANS: PerProgramCache[List[Tuple[Any, ...]]] = PerProgramCache(_build_plan)
 
 
 class FunctionalSimulator:
@@ -196,7 +327,7 @@ class FunctionalSimulator:
     def __init__(self, program: Program, *, mgt: Optional[MiniGraphTable] = None) -> None:
         self._program = program
         self._mgt = mgt
-        self._block_index = BlockIndex(program)
+        self._plan = _PLANS.get(program)
 
     @property
     def program(self) -> Program:
@@ -213,73 +344,144 @@ class FunctionalSimulator:
         rewritten program covers exactly the same work as a run of the
         original with the same budget.
         """
+        program = self._program
         registers = [0] * NUM_ARCH_REGS
-        memory = Memory.from_image(self._program.data)
-        profile = BlockProfile(program_name=self._program.name, input_name=input_name)
-        trace = Trace() if collect_trace else None
+        memory = Memory.from_image(program.data)
+        profile = BlockProfile(program_name=program.name, input_name=input_name)
+        entries: Optional[List[TraceEntry]] = [] if collect_trace else None
 
-        pc = self._program.entry_pc
+        plan = self._plan
+        plan_size = len(plan)
+        text_base = program.text_base
+        counts = profile.counts
+        counts_get = counts.get
+        mem_load = memory.load
+        mem_store = memory.store
+        mask = _WORD_MASK
+
+        pc = program.entry_pc
         executed = 0
         committed = 0
         halted = False
-        block_of_pc = self._block_index.block_of_pc
 
+        # One dispatch tuple per static instruction; every committed entry is
+        # a table dispatch plus raw list/dict work — no per-instance decoding.
         while executed < max_instructions:
-            if not self._program.contains_pc(pc):
+            offset = pc - text_base
+            index = offset >> 2
+            if offset < 0 or index >= plan_size or offset & 3:
                 raise SimulationError(
-                    f"{self._program.name}: execution left the text segment at {pc:#x}")
-            index = self._program.index_of(pc)
-            insn = self._program.instructions[index]
+                    f"{program.name}: execution left the text segment at {pc:#x}")
+            step = plan[index]
+            kind = step[0]
 
-            if insn.is_nop:
+            if kind == _K_NOP:
                 pc += INSTRUCTION_BYTES
                 continue
 
-            block = block_of_pc(pc)
-            if index == block.start_index or self._is_block_reentry(block, index, trace):
-                pass  # block accounting handled below per entry
-
-            if insn.is_handle:
-                entry, next_pc, count = self._execute_handle(insn, pc, index, registers, memory)
-            else:
-                entry, next_pc, count = self._execute_singleton(insn, pc, index, registers, memory)
-
-            executed += count
-            committed += 1
-            self._record_block(profile, index, count)
-            if trace is not None:
-                trace.append(entry)
-
-            if insn.is_halt:
+            if kind == _K_ALU:
+                _, fn, rd, rs1, rs2, imm, entry, bid, inc = step
+                result = fn(registers[rs1] if rs1 is not None else 0,
+                            registers[rs2] if rs2 is not None else 0, imm)
+                if rd is not None:
+                    registers[rd] = result & mask
+                next_pc = pc + INSTRUCTION_BYTES
+            elif kind == _K_LOAD:
+                _, size, signed, rd, rs1, imm, entry_pc, next_pc, index, bid, inc = step
+                address = ((registers[rs1] if rs1 is not None else 0) + imm) & mask
+                value = mem_load(address, size, signed=signed)
+                if rd is not None:
+                    registers[rd] = value & mask
+                entry = TraceEntry(entry_pc, index, 1, next_pc, False, None,
+                                   True, False, address, None)
+            elif kind == _K_BRANCH:
+                _, fn, rs1, target, taken_entry, fall_entry, bid, inc = step
+                if fn(registers[rs1] if rs1 is not None else 0):
+                    entry = taken_entry
+                    next_pc = target
+                else:
+                    entry = fall_entry
+                    next_pc = pc + INSTRUCTION_BYTES
+            elif kind == _K_STORE:
+                _, size, rs1, rs2, imm, entry_pc, next_pc, index, bid, inc = step
+                address = ((registers[rs1] if rs1 is not None else 0) + imm) & mask
+                mem_store(address, registers[rs2] if rs2 is not None else 0, size)
+                entry = TraceEntry(entry_pc, index, 1, next_pc, False, None,
+                                   False, True, address, None)
+            elif kind == _K_HANDLE:
+                _, insn, bid, inc = step
+                entry, next_pc, count = self._execute_handle(
+                    insn, pc, index, registers, memory)
+                executed += count
+                committed += 1
+                counts[bid] = counts_get(bid, 0) + inc
+                if entries is not None:
+                    entries.append(entry)
+                pc = next_pc
+                continue
+            elif kind == _K_CMOVNE or kind == _K_CMOVEQ:
+                _, rd, rs1, rs2, entry, bid, inc = step
+                a = registers[rs1] if rs1 is not None else 0
+                moved = (a != 0) if kind == _K_CMOVNE else (a == 0)
+                if moved:
+                    result = registers[rs2] if rs2 is not None else 0
+                else:
+                    result = registers[rd] if rd is not None else 0
+                if rd is not None:
+                    registers[rd] = result & mask
+                next_pc = pc + INSTRUCTION_BYTES
+            elif kind == _K_FP:
+                _, fn, rd, rs1, rs2, entry, bid, inc = step
+                result = fn(registers[rs1] if rs1 is not None else 0,
+                            registers[rs2] if rs2 is not None else 0)
+                if rd is not None:
+                    registers[rd] = result & mask
+                next_pc = pc + INSTRUCTION_BYTES
+            elif kind == _K_JUMP:
+                _, next_pc, entry, bid, inc = step
+            elif kind == _K_CALL:
+                _, rd, next_pc, entry, bid, inc = step
+                if rd is not None:
+                    registers[rd] = (pc + INSTRUCTION_BYTES) & mask
+            elif kind == _K_INDIRECT:
+                _, rs1, entry_pc, index, bid, inc = step
+                next_pc = registers[rs1] if rs1 is not None else 0
+                entry = TraceEntry(entry_pc, index, 1, next_pc, True, True,
+                                   False, False, None, None)
+            elif kind == _K_HALT:
+                _, entry, bid, inc = step
+                executed += 1
+                committed += 1
+                counts[bid] = counts_get(bid, 0) + inc
+                if entries is not None:
+                    entries.append(entry)
                 halted = True
                 break
+            else:  # pragma: no cover - plans contain no other kinds
+                raise SimulationError(f"corrupt execution plan at {pc:#x}")
+
+            executed += 1
+            committed += 1
+            counts[bid] = counts_get(bid, 0) + inc
+            if entries is not None:
+                entries.append(entry)
             pc = next_pc
 
+        # Every committed entry contributes its original-instruction count to
+        # both tallies, so the profile total is exactly `executed`.
+        profile.dynamic_instructions = executed
         return FunctionalResult(
-            program_name=self._program.name,
+            program_name=program.name,
             instructions_executed=executed,
             entries_committed=committed,
             halted=halted,
             registers=registers,
             memory=memory,
             profile=profile,
-            trace=trace,
+            trace=Trace(entries) if entries is not None else None,
         )
 
     # -- helpers ---------------------------------------------------------------
-
-    def _is_block_reentry(self, block, index: int, trace) -> bool:
-        return False
-
-    def _record_block(self, profile: BlockProfile, index: int, count: int) -> None:
-        block = self._block_index.block_of_index(index)
-        # Count a block entry the first time we touch the block (its leader or
-        # the entry point of a jump into the middle, which our kernels do not
-        # do); the per-instruction dynamic count is tracked separately.
-        profile.counts.setdefault(block.block_id, 0)
-        if index == block.start_index or self._first_useful_index(block) == index:
-            profile.counts[block.block_id] += 1
-        profile.dynamic_instructions += count
 
     @staticmethod
     def _first_useful_index(block) -> int:
@@ -297,86 +499,6 @@ class FunctionalSimulator:
         if reg is None or is_zero_reg(reg):
             return
         registers[reg] = _wrap(value)
-
-    def _execute_singleton(self, insn: Instruction, pc: int, index: int,
-                           registers: List[int], memory: Memory
-                           ) -> Tuple[TraceEntry, int, int]:
-        spec = insn.spec
-        next_pc = pc + INSTRUCTION_BYTES
-        taken: Optional[bool] = None
-        effective_address: Optional[int] = None
-
-        if spec.op_class in (OpClass.ALU, OpClass.MUL):
-            a = self._read(registers, insn.rs1)
-            b = self._read(registers, insn.rs2)
-            result = _ALU[insn.op](a, b, insn.imm)
-            if insn.op == "cmovne":
-                result = b if a != 0 else self._read(registers, insn.rd)
-            elif insn.op == "cmoveq":
-                result = b if a == 0 else self._read(registers, insn.rd)
-            self._write(registers, insn.rd, result)
-        elif spec.is_fp:
-            a = self._read(registers, insn.rs1)
-            b = self._read(registers, insn.rs2)
-            self._write(registers, insn.rd, self._fp_result(insn.op, a, b))
-        elif spec.is_load:
-            base = self._read(registers, insn.rs1)
-            effective_address = _wrap(base + (insn.imm or 0))
-            size = _ACCESS_SIZE[insn.op]
-            value = memory.load(effective_address, size,
-                                signed=insn.op not in _UNSIGNED_LOADS)
-            self._write(registers, insn.rd, _wrap(value))
-        elif spec.is_store:
-            base = self._read(registers, insn.rs1)
-            effective_address = _wrap(base + (insn.imm or 0))
-            size = _ACCESS_SIZE[insn.op]
-            memory.store(effective_address, self._read(registers, insn.rs2), size)
-        elif spec.op_class is OpClass.BRANCH:
-            taken = _branch_taken(insn.op, self._read(registers, insn.rs1))
-            if taken:
-                next_pc = insn.imm
-        elif spec.op_class is OpClass.JUMP:
-            taken = True
-            next_pc = insn.imm
-        elif spec.op_class is OpClass.CALL:
-            taken = True
-            self._write(registers, insn.rd, pc + INSTRUCTION_BYTES)
-            next_pc = insn.imm
-        elif spec.op_class is OpClass.INDIRECT:
-            taken = True
-            next_pc = self._read(registers, insn.rs1)
-        elif spec.op_class is OpClass.HALT:
-            taken = None
-        elif spec.op_class is OpClass.MG:
-            raise SimulationError("handles must be executed via _execute_handle")
-
-        entry = TraceEntry(
-            pc=pc, index=index, size=1, next_pc=next_pc,
-            is_control=spec.is_control, taken=taken,
-            is_load=spec.is_load, is_store=spec.is_store,
-            effective_address=effective_address, mgid=None,
-        )
-        return entry, next_pc, 1
-
-    def _fp_result(self, op: str, a: int, b: int) -> int:
-        # FP values are carried as 64-bit integers; the workloads use FP only
-        # lightly, so fixed-point-style integer arithmetic is sufficient and
-        # keeps the register file uniform.
-        if op == "addt":
-            return _wrap(a + b)
-        if op == "subt":
-            return _wrap(a - b)
-        if op == "mult":
-            return _wrap(a * b)
-        if op == "divt":
-            return _wrap(a // b) if b else 0
-        if op == "sqrtt":
-            return _wrap(int(_signed(a) ** 0.5)) if _signed(a) > 0 else 0
-        if op == "cmptlt":
-            return int(_signed(a) < _signed(b))
-        if op in ("cvtqt", "cvttq"):
-            return a
-        raise SimulationError(f"unknown FP opcode {op}")
 
     def _execute_handle(self, handle: Instruction, pc: int, index: int,
                         registers: List[int], memory: Memory

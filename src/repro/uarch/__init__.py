@@ -17,6 +17,7 @@ from .bpred import (
 from .caches import Cache, CacheStats, MemoryHierarchy
 from .storesets import StoreSetPredictor, StoreSetStats
 from .funits import FunctionalUnitPool, FunctionalUnitStats
+from .decode import DecodedOp, DecodeTable, decode_table
 from .dyninst import NEVER, DynInst
 from .stats import PipelineStats
 from .pipeline import FetchLayout, TimingError, TimingSimulator, simulate_program
@@ -39,6 +40,9 @@ __all__ = [
     "StoreSetStats",
     "FunctionalUnitPool",
     "FunctionalUnitStats",
+    "DecodedOp",
+    "DecodeTable",
+    "decode_table",
     "NEVER",
     "DynInst",
     "PipelineStats",

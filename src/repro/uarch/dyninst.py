@@ -1,73 +1,124 @@
 """Dynamic instruction records used by the timing pipeline.
 
 A :class:`DynInst` is one in-flight entity: either a singleton instruction or
-a mini-graph handle.  It carries the static instruction, the trace entry that
-produced it (control outcome, effective address), renamed register
-identifiers and the per-stage timestamps the pipeline fills in as the entity
-flows through.
+a mini-graph handle.  It pairs the trace entry that produced it (control
+outcome, effective address) with the interned
+:class:`~repro.uarch.decode.DecodedOp` for its static instruction, and
+carries the renamed register identifiers, the per-stage timestamps and the
+wakeup bookkeeping the event-driven scheduler fills in as the entity flows
+through the machine.
+
+The class is ``__slots__``-backed: tens of thousands of instances are created
+per simulation and the per-instance dict plus property dispatch of the old
+dataclass were a measurable share of simulation time.  Static facts
+(operands, opcode class, latency, MGT header) live on the shared decode
+record; only genuinely per-instance state lives here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..isa.instruction import Instruction
 from ..minigraph.mgt import MgtEntry
 from ..sim.trace import TraceEntry
+from .decode import DecodedOp
 
 #: Sentinel cycle value meaning "has not happened yet".
 NEVER = -1
 
+#: Sentinel ready-cycle meaning "producer has not broadcast yet".
+FOREVER = 1 << 62
 
-@dataclass
+
 class DynInst:
     """One in-flight instruction or handle.
 
     Attributes:
         sequence: global dynamic sequence number (age ordering).
         trace: the trace entry this entity was fetched from.
-        static: the static instruction (a handle for mini-graphs).
-        mgt_entry: MGT row for handles, None for singletons.
+        decoded: interned static metadata (shared across dynamic instances).
         source_physical: physical registers of the (up to two) sources.
         destination_physical: allocated physical destination, or None.
         previous_physical: physical register previously mapped to the
             destination architectural register (freed at retire).
+        pending_sources: source operands whose producer has not broadcast
+            yet (scheduler wakeup bookkeeping).
+        wake_cycle: earliest cycle the scheduler may consider this entity
+            for selection once ``pending_sources`` reaches zero.
     """
 
-    sequence: int
-    trace: TraceEntry
-    static: Instruction
-    mgt_entry: Optional[MgtEntry] = None
+    __slots__ = (
+        "sequence", "trace", "decoded",
+        "source_physical", "destination_physical", "previous_physical",
+        "predicted_taken", "predicted_target", "mispredicted",
+        "fetch_cycle", "rename_cycle", "issue_cycle", "complete_cycle",
+        "retire_cycle", "output_ready_cycle",
+        "replayed", "caused_ordering_violation",
+        "pending_sources", "wake_cycle",
+    )
 
-    # Renaming.
-    source_physical: Tuple[Optional[int], Optional[int]] = (None, None)
-    destination_physical: Optional[int] = None
-    previous_physical: Optional[int] = None
+    def __init__(self, sequence: int, trace: TraceEntry, decoded: DecodedOp) -> None:
+        self.sequence = sequence
+        self.trace = trace
+        self.decoded = decoded
+        self.source_physical: Tuple[Optional[int], Optional[int]] = (None, None)
+        self.destination_physical: Optional[int] = None
+        self.previous_physical: Optional[int] = None
+        self.predicted_taken: Optional[bool] = None
+        self.predicted_target: Optional[int] = None
+        self.mispredicted = False
+        self.fetch_cycle = NEVER
+        self.rename_cycle = NEVER
+        self.issue_cycle = NEVER
+        self.complete_cycle = NEVER
+        self.retire_cycle = NEVER
+        self.output_ready_cycle = NEVER
+        self.replayed = False
+        self.caused_ordering_violation = False
+        self.pending_sources = 0
+        self.wake_cycle = NEVER
 
-    # Branch prediction state.
-    predicted_taken: Optional[bool] = None
-    predicted_target: Optional[int] = None
-    mispredicted: bool = False
+    @classmethod
+    def from_static(cls, sequence: int, trace: TraceEntry, static: Instruction,
+                    mgt_entry: Optional[MgtEntry] = None,
+                    index: int = 0) -> "DynInst":
+        """Build a standalone instance (tests, debugging) without a table."""
+        return cls(sequence, trace, DecodedOp(index, static, mgt_entry))
 
-    # Per-stage timestamps (cycles).
-    fetch_cycle: int = NEVER
-    rename_cycle: int = NEVER
-    issue_cycle: int = NEVER
-    complete_cycle: int = NEVER
-    retire_cycle: int = NEVER
+    # -- static views (delegate to the interned decode record) ---------------------
 
-    # Execution bookkeeping.
-    output_ready_cycle: int = NEVER
-    memory_latency: int = 0
-    replayed: bool = False
-    caused_ordering_violation: bool = False
+    @property
+    def static(self) -> Instruction:
+        return self.decoded.static
 
-    # -- classification -----------------------------------------------------------
+    @property
+    def mgt_entry(self) -> Optional[MgtEntry]:
+        return self.decoded.mgt_entry
 
     @property
     def is_handle(self) -> bool:
-        return self.mgt_entry is not None
+        return self.decoded.mgt_entry is not None
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.decoded.is_conditional_branch
+
+    @property
+    def needs_destination(self) -> bool:
+        """Does this entity allocate a physical destination register?
+
+        Following the paper's baseline, stores and branches are not allocated
+        registers; a handle allocates one register only if its mini-graph has
+        an interface output.
+        """
+        return self.decoded.needs_destination
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Architectural source registers (handles expose the interface only)."""
+        return self.decoded.static.source_registers()
+
+    # -- dynamic views (from the trace entry) --------------------------------------
 
     @property
     def is_load(self) -> bool:
@@ -84,12 +135,6 @@ class DynInst:
     @property
     def is_control(self) -> bool:
         return self.trace.is_control
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        if self.is_handle:
-            return self.mgt_entry.template.has_branch
-        return self.static.is_branch
 
     @property
     def original_instructions(self) -> int:
@@ -112,18 +157,7 @@ class DynInst:
     def actual_target(self) -> int:
         return self.trace.next_pc
 
-    @property
-    def needs_destination(self) -> bool:
-        """Does this entity allocate a physical destination register?
-
-        Following the paper's baseline, stores and branches are not allocated
-        registers; a handle allocates one register only if its mini-graph has
-        an interface output.
-        """
-        if self.is_handle:
-            return self.mgt_entry.template.out_index is not None \
-                and self.static.destination_register() is not None
-        return self.static.destination_register() is not None
+    # -- status --------------------------------------------------------------------
 
     @property
     def issued(self) -> bool:
@@ -132,10 +166,6 @@ class DynInst:
     @property
     def completed(self) -> bool:
         return self.complete_cycle != NEVER
-
-    def source_registers(self) -> Tuple[int, ...]:
-        """Architectural source registers (handles expose the interface only)."""
-        return self.static.source_registers()
 
     def describe(self) -> str:
         """Readable one-liner for debugging and trace dumps."""

@@ -56,6 +56,18 @@ class FunctionalUnitPool:
         self._memory_handles_issued = 0
         # Future reservations made by in-flight handles: cycle -> unit -> count.
         self._reservations: Dict[int, Dict[str, int]] = {}
+        # Hoisted config scalars (plain_alu_units is a computed property) and
+        # the current cycle's reservation counts, cached by begin_cycle so the
+        # per-issue availability checks are pure integer arithmetic.
+        self._plain_alu_units = config.plain_alu_units
+        self._alu_pipelines = config.alu_pipelines
+        self._fp_units = config.fp_units
+        self._load_ports = config.load_ports
+        self._store_ports = config.store_ports
+        self._now_alu = 0
+        self._now_pipeline = 0
+        self._now_load = 0
+        self._now_store = 0
 
     # -- per-cycle bookkeeping ---------------------------------------------------
 
@@ -68,8 +80,24 @@ class FunctionalUnitPool:
         self._load_used = 0
         self._store_used = 0
         self._memory_handles_issued = 0
-        for key in [key for key in self._reservations if key < cycle]:
-            del self._reservations[key]
+        reservations = self._reservations
+        now: Optional[Dict[str, int]] = None
+        if reservations:
+            for key in [key for key in reservations if key < cycle]:
+                del reservations[key]
+            now = reservations.get(cycle)
+        if now:
+            # Handles only reserve *future* cycles (offsets start at 1), so
+            # this cycle's bucket cannot grow once the cycle has begun.
+            self._now_alu = now.get(FU_ALU, 0)
+            self._now_pipeline = now.get(FU_ALU_PIPELINE, 0)
+            self._now_load = now.get(FU_LOAD, 0)
+            self._now_store = now.get(FU_STORE, 0)
+        else:
+            self._now_alu = 0
+            self._now_pipeline = 0
+            self._now_load = 0
+            self._now_store = 0
 
     def _reserved(self, cycle: int, unit: str) -> int:
         return self._reservations.get(cycle, {}).get(unit, 0)
@@ -79,12 +107,10 @@ class FunctionalUnitPool:
         bucket[unit] = bucket.get(unit, 0) + count
 
     def _plain_free(self) -> int:
-        return (self._config.plain_alu_units - self._plain_used
-                - self._reserved(self._cycle, FU_ALU))
+        return self._plain_alu_units - self._plain_used - self._now_alu
 
     def _pipeline_free(self) -> int:
-        return (self._config.alu_pipelines - self._pipeline_used
-                - self._reserved(self._cycle, FU_ALU_PIPELINE))
+        return self._alu_pipelines - self._pipeline_used - self._now_pipeline
 
     # -- singleton issue -----------------------------------------------------------
 
@@ -94,50 +120,87 @@ class FunctionalUnitPool:
 
     def issue_int(self) -> bool:
         """Issue one singleton integer operation (plain ALU preferred)."""
+        if self.take_int():
+            return True
+        self.stats.structural_stalls += 1
+        return False
+
+    # -- combined claim helpers (hot path: one check-and-consume call) ------------
+    #
+    # take_* is the single source of truth for issue arbitration; the
+    # can_issue_*/issue_* pairs below are the legacy interface (issue_*
+    # additionally counts a structural stall on failure, which the pipeline's
+    # check-first callers never hit).
+
+    def take_int(self) -> bool:
+        """Claim one integer issue slot (plain ALU preferred), if any is free."""
         if self._plain_free() > 0:
             self._plain_used += 1
         elif self._pipeline_free() > 0:
             self._pipeline_used += 1
         else:
-            self.stats.structural_stalls += 1
             return False
         self.stats.int_issues += 1
         return True
 
-    def can_issue_fp(self) -> bool:
-        return self._fp_used < self._config.fp_units
-
-    def issue_fp(self) -> bool:
-        if not self.can_issue_fp():
-            self.stats.structural_stalls += 1
+    def take_fp(self) -> bool:
+        """Claim one floating-point issue slot this cycle, if free."""
+        if self._fp_used >= self._fp_units:
             return False
         self._fp_used += 1
         self.stats.fp_issues += 1
         return True
 
-    def can_issue_load(self) -> bool:
-        return (self._load_used + self._reserved(self._cycle, FU_LOAD)
-                < self._config.load_ports)
-
-    def issue_load(self) -> bool:
-        if not self.can_issue_load():
-            self.stats.structural_stalls += 1
+    def take_load(self) -> bool:
+        """Claim one load port this cycle, if free."""
+        if self._load_used + self._now_load >= self._load_ports:
             return False
         self._load_used += 1
         self.stats.load_issues += 1
         return True
 
-    def can_issue_store(self) -> bool:
-        return (self._store_used + self._reserved(self._cycle, FU_STORE)
-                < self._config.store_ports)
-
-    def issue_store(self) -> bool:
-        if not self.can_issue_store():
-            self.stats.structural_stalls += 1
+    def take_store(self) -> bool:
+        """Claim one store port this cycle, if free."""
+        if self._store_used + self._now_store >= self._store_ports:
             return False
         self._store_used += 1
         self.stats.store_issues += 1
         return True
+
+    def take_integer_handle(self) -> bool:
+        """Claim one ALU-pipeline input for an integer-only handle, if free."""
+        if self._pipeline_free() <= 0:
+            return False
+        self._pipeline_used += 1
+        self.stats.handle_issues += 1
+        return True
+
+    def can_issue_fp(self) -> bool:
+        return self._fp_used < self._fp_units
+
+    def issue_fp(self) -> bool:
+        if self.take_fp():
+            return True
+        self.stats.structural_stalls += 1
+        return False
+
+    def can_issue_load(self) -> bool:
+        return self._load_used + self._now_load < self._load_ports
+
+    def issue_load(self) -> bool:
+        if self.take_load():
+            return True
+        self.stats.structural_stalls += 1
+        return False
+
+    def can_issue_store(self) -> bool:
+        return self._store_used + self._now_store < self._store_ports
+
+    def issue_store(self) -> bool:
+        if self.take_store():
+            return True
+        self.stats.structural_stalls += 1
+        return False
 
     # -- handle issue ----------------------------------------------------------------
 
@@ -154,12 +217,10 @@ class FunctionalUnitPool:
         return self._pipeline_free() > 0
 
     def issue_integer_handle(self) -> bool:
-        if not self.can_issue_integer_handle():
-            self.stats.structural_stalls += 1
-            return False
-        self._pipeline_used += 1
-        self.stats.handle_issues += 1
-        return True
+        if self.take_integer_handle():
+            return True
+        self.stats.structural_stalls += 1
+        return False
 
     def can_issue_memory_handle(self, fu0: str, fubmp: Tuple[Optional[str], ...]) -> bool:
         """Check first-cycle availability and the sliding-window reservation.

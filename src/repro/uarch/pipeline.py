@@ -11,8 +11,24 @@ except execution, where the MGHT header drives scheduling (FU0/FUBMP/LAT) and
 the MGST bank count drives execution occupancy — exactly the division of
 labour described in Section 4 of the paper.
 
-Two modelling simplifications (documented in DESIGN.md) keep the Python model
-tractable while preserving the relative effects the paper measures:
+Scheduling is *event-driven*: instead of rescanning the whole issue queue
+every cycle (quadratic in window occupancy), the scheduler mirrors hardware
+wakeup/select.  At rename each entity counts the source operands whose
+producers have not broadcast yet; producers, at issue, push their waiting
+consumers into a per-cycle wakeup bucket keyed by the operand-broadcast
+cycle.  The select stage pops the bucket for the current cycle into an
+age-ordered ready heap and issues from it, so per-cycle work is proportional
+to the number of *ready* entities, not to window size.  The selection order —
+oldest ready first, structural conflicts retried, sliding-window reservation
+conflicts consuming an issue slot — is bit-identical to the exhaustive scan
+it replaced (enforced by the golden-stats equivalence test).
+
+Static per-instruction metadata (operands, opcode class, latency, MGT
+headers) is interned once per program in :mod:`repro.uarch.decode` and shared
+across every simulation of that program.
+
+Two modelling simplifications keep the Python model tractable while
+preserving the relative effects the paper measures:
 
 * wrong-path instructions are not fetched: a mispredicted control transfer
   stalls fetch until it resolves and then pays the front-end redirect
@@ -27,20 +43,33 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Deque, Dict, List, Optional, Tuple
 
-from ..isa.instruction import Instruction
-from ..isa.opcodes import OpClass
-from ..minigraph.mgt import FU_LOAD, FU_STORE, MgtEntry, MiniGraphTable
+from ..minigraph.mgt import MiniGraphTable
 from ..program.program import Program
-from ..sim.trace import Trace, TraceEntry
+from ..sim.trace import Trace
 from .bpred import FrontEndPredictor
 from .caches import MemoryHierarchy
 from .config import MachineConfig
-from .dyninst import NEVER, DynInst
+from .decode import (
+    KIND_FP,
+    KIND_HANDLE,
+    KIND_INT,
+    KIND_LOAD,
+    KIND_STORE,
+    DecodeError,
+    decode_table,
+)
+from .dyninst import FOREVER, NEVER, DynInst
 from .funits import FunctionalUnitPool
 from .stats import PipelineStats
 from .storesets import StoreSetPredictor
+
+#: Issue outcomes (integer codes keep the select loop allocation-free).
+_ISSUED = 0
+_BLOCKED = 1
+_SLOT_LOST = 2
 
 
 class TimingError(RuntimeError):
@@ -85,6 +114,12 @@ class FetchLayout:
         if not self.compressed:
             return pc
         index = self.program.index_of(pc)
+        return self.address_for_index(index)
+
+    def address_for_index(self, index: int) -> int:
+        """Fetch address for a known layout index (skips the PC lookup)."""
+        if not self.compressed:
+            return self.program.text_base + index * 4
         dense = self._dense_index.get(index, index)
         return self.program.text_base + dense * 4
 
@@ -94,12 +129,16 @@ class TimingSimulator:
 
     def __init__(self, program: Program, trace: Trace, config: MachineConfig, *,
                  mgt: Optional[MiniGraphTable] = None,
-                 compressed_layout: bool = False) -> None:
+                 compressed_layout: bool = False,
+                 record_timeline: bool = False) -> None:
         self._program = program
         self._trace = trace
         self._config = config
         self._mgt = mgt
         self.stats = PipelineStats()
+        #: Retired entities in commit order (populated when
+        #: ``record_timeline=True``; used by scheduler regression tests).
+        self.timeline: Optional[List[DynInst]] = [] if record_timeline else None
 
         self._predictor = FrontEndPredictor(
             predictor_entries=config.predictor_entries,
@@ -110,20 +149,36 @@ class TimingSimulator:
         self._funits = FunctionalUnitPool(config)
         self._layout = FetchLayout(program, compressed=compressed_layout)
 
+        # Interned decode metadata and the batched trace feed: one DecodedOp
+        # per trace entry, shared with every other simulation of this program.
+        self._decode = decode_table(program, mgt)
+        try:
+            self._feed = self._decode.trace_feed(trace)
+        except DecodeError as error:
+            raise TimingError(str(error)) from None
+        self._entries = list(trace.entries)
+
         # Renaming state: architectural register -> physical register.
         self._rename_map: Dict[int, int] = {reg: reg for reg in range(config.architected_registers)}
         self._free_list: Deque[int] = deque(range(config.architected_registers,
                                                   config.physical_registers))
-        # Earliest cycle at which a consumer of the physical register may issue.
+        # Earliest cycle at which a consumer of the physical register may
+        # issue; FOREVER until the producer has issued and broadcast.
         self._ready_cycle: Dict[int, int] = {reg: 0 for reg in range(config.architected_registers)}
 
         # Pipeline structures.
         self._front_end: Deque[DynInst] = deque()   # fetched, waiting to rename
         self._rob: Deque[DynInst] = deque()
-        self._issue_queue: List[DynInst] = []
-        self._iq_busy_until: List[int] = []          # handles hold entries while executing
         self._lsq: Deque[_LsqEntry] = deque()
-        self._executing: List[DynInst] = []
+        self._lsq_by_seq: Dict[int, _LsqEntry] = {}
+
+        # Event-driven scheduler state.
+        self._ready_heap: List[Tuple[int, DynInst]] = []      # (sequence, inst)
+        self._wake_buckets: Dict[int, List[DynInst]] = {}     # cycle -> wakeups
+        self._reg_waiters: Dict[int, List[DynInst]] = {}      # phys reg -> consumers
+        self._complete_buckets: Dict[int, List[DynInst]] = {} # cycle -> completions
+        self._iq_count = 0                                    # waiting + ready entries
+        self._busy_heap: List[int] = []  # scheduler entries held by executing handles
 
         # Fetch state.
         self._fetch_index = 0
@@ -131,26 +186,81 @@ class TimingSimulator:
         self._fetch_blocked_on: Optional[int] = None  # sequence of unresolved mispredict
         self._next_sequence = 0
 
+        # Hoisted config scalars: the per-cycle loops only touch plain ints.
+        self._fetch_width = config.fetch_width
+        self._rename_width = config.rename_width
+        self._issue_width = config.issue_width
+        self._retire_width = config.retire_width
+        self._front_end_depth = config.front_end_depth
+        self._fetch_buffer_limit = config.fetch_width * config.front_end_depth
+        self._rob_size = config.rob_size
+        self._iq_size = config.issue_queue_size
+        self._lsq_size = config.lsq_size
+        self._register_read_latency = config.register_read_latency
+        self._scheduler_latency = config.scheduler_latency
+        self._physical_registers = config.physical_registers
+        self._icache_hit_latency = config.icache.hit_latency
+        self._dcache_hit_latency = config.dcache.hit_latency
+        self._alu_pipelines = config.alu_pipelines
+        self._sliding_window = config.sliding_window_scheduler
+
     # ------------------------------------------------------------------ run --
 
     def run(self, *, max_cycles: int = 5_000_000) -> PipelineStats:
         """Simulate until the whole trace has retired; returns the statistics."""
-        total_entries = len(self._trace)
+        total_entries = len(self._entries)
         retired_entries = 0
         cycle = 0
+        begin_cycle = self._funits.begin_cycle
+        retire = self._retire
+        complete = self._complete
+        issue = self._issue
+        rename = self._rename
+        fetch = self._fetch
+        stats = self.stats
+        rob = self._rob
+        front_end = self._front_end
+        free_list = self._free_list
+        ready_heap = self._ready_heap
+        wake_buckets = self._wake_buckets
+        complete_buckets = self._complete_buckets
+        busy_heap = self._busy_heap
+        physical_registers = self._physical_registers
+        # Each stage call is guarded by the event state that could make it do
+        # work, so idle stages cost nothing; the guards replicate each
+        # stage's own early-out exactly.  The functional-unit pool only
+        # matters while selecting, so its per-cycle reset runs just before
+        # an actual issue attempt (handles reserve only future cycles, so a
+        # skipped reset can never hide a reservation).
         while retired_entries < total_entries:
             if cycle > max_cycles:
                 raise TimingError(
                     f"{self._program.name}: exceeded {max_cycles} cycles "
                     f"({retired_entries}/{total_entries} entries retired); "
                     f"the pipeline is probably deadlocked")
-            self._funits.begin_cycle(cycle)
-            retired_entries += self._retire(cycle)
-            self._complete(cycle)
-            self._issue(cycle)
-            self._rename(cycle)
-            self._fetch(cycle)
-            self._account_occupancy(cycle)
+            if rob:
+                head_complete = rob[0].complete_cycle
+                if head_complete != NEVER and head_complete <= cycle:
+                    retired_entries += retire(cycle)
+            finishing = complete_buckets.pop(cycle, None)
+            if finishing:
+                complete(cycle, finishing)
+            woken = wake_buckets.pop(cycle, None)
+            if woken or ready_heap:
+                begin_cycle(cycle)
+                issue(cycle, woken)
+            if front_end:
+                rename(cycle)
+            if self._fetch_index < total_entries \
+                    or self._fetch_blocked_on is not None \
+                    or cycle < self._fetch_stalled_until:
+                fetch(cycle)
+            stats.rob_occupancy_sum += len(rob)
+            while busy_heap and busy_heap[0] <= cycle:
+                heappop(busy_heap)
+            stats.iq_occupancy_sum += self._iq_count + len(busy_heap)
+            stats.physical_registers_in_use_sum += \
+                physical_registers - len(free_list)
             cycle += 1
         self.stats.cycles = cycle
         self.stats.branch_mispredictions = self._predictor.mispredictions()
@@ -162,101 +272,110 @@ class TimingSimulator:
     # ---------------------------------------------------------------- retire --
 
     def _retire(self, cycle: int) -> int:
+        rob = self._rob
+        if not rob:
+            return 0
+        head = rob[0]
+        complete_cycle = head.complete_cycle
+        if complete_cycle == NEVER or complete_cycle > cycle:
+            return 0
         retired = 0
-        while self._rob and retired < self._config.retire_width:
-            head = self._rob[0]
-            if not head.completed or head.complete_cycle > cycle:
+        stats = self.stats
+        free_list = self._free_list
+        lsq = self._lsq
+        width = self._retire_width
+        while rob and retired < width:
+            head = rob[0]
+            complete_cycle = head.complete_cycle
+            if complete_cycle == NEVER or complete_cycle > cycle:
                 break
-            self._rob.popleft()
+            rob.popleft()
             head.retire_cycle = cycle
             if head.previous_physical is not None:
-                self._free_list.append(head.previous_physical)
-            if head.is_memory and self._lsq and self._lsq[0].sequence == head.sequence:
-                self._lsq.popleft()
-            self.stats.committed_instructions += head.original_instructions
-            self.stats.committed_slots += 1
-            if head.is_handle:
-                self.stats.committed_handles += 1
+                free_list.append(head.previous_physical)
+            entry = head.trace
+            if (entry.is_load or entry.is_store) and lsq \
+                    and lsq[0].sequence == head.sequence:
+                lsq.popleft()
+                del self._lsq_by_seq[head.sequence]
+            stats.committed_instructions += entry.size
+            stats.committed_slots += 1
+            if head.decoded.mgt_entry is not None:
+                stats.committed_handles += 1
+            if self.timeline is not None:
+                self.timeline.append(head)
             retired += 1
         return retired
 
     # -------------------------------------------------------------- complete --
 
-    def _complete(self, cycle: int) -> None:
-        still_running: List[DynInst] = []
-        for inst in self._executing:
-            if inst.complete_cycle > cycle:
-                still_running.append(inst)
-                continue
+    def _complete(self, cycle: int, finishing: List[DynInst]) -> None:
+        for inst in finishing:
+            entry = inst.trace
             # Control resolution: train the predictor and release a blocked
             # front end (redirect penalty charged from the resolution cycle).
-            if inst.is_control:
+            if entry.is_control:
                 self._predictor.update(
-                    inst.pc,
-                    is_conditional=inst.is_conditional_branch,
-                    taken=bool(inst.actual_taken),
-                    target=inst.actual_target if inst.actual_taken else None,
+                    entry.pc,
+                    is_conditional=inst.decoded.is_conditional_branch,
+                    taken=bool(entry.taken),
+                    target=entry.next_pc if entry.taken else None,
                     predicted_taken=bool(inst.predicted_taken))
                 if self._fetch_blocked_on == inst.sequence:
                     self._fetch_blocked_on = None
                     self._fetch_stalled_until = max(
                         self._fetch_stalled_until,
                         cycle + self._config.misprediction_redirect_penalty)
-            if inst.is_memory:
-                self._mark_lsq_completed(inst.sequence)
-                if inst.is_store:
-                    self._store_sets.store_completed(inst.pc, inst.sequence)
-        self._executing = still_running
-
-    def _mark_lsq_completed(self, sequence: int) -> None:
-        for entry in self._lsq:
-            if entry.sequence == sequence:
-                entry.completed = True
-                return
+            if entry.is_load or entry.is_store:
+                lsq_entry = self._lsq_by_seq.get(inst.sequence)
+                if lsq_entry is not None:
+                    lsq_entry.completed = True
+                if entry.is_store:
+                    self._store_sets.store_completed(entry.pc, inst.sequence)
 
     # ----------------------------------------------------------------- issue --
 
-    def _issue(self, cycle: int) -> None:
+    def _issue(self, cycle: int, woken: Optional[List[DynInst]] = None) -> None:
+        heap = self._ready_heap
+        if woken:
+            for inst in woken:
+                heappush(heap, (inst.sequence, inst))
+        if not heap:
+            return
         issued = 0
-        remaining: List[DynInst] = []
-        # Age-ordered select: the issue queue list is kept in dispatch order.
-        for inst in self._issue_queue:
-            if issued >= self._config.issue_width:
-                remaining.append(inst)
+        width = self._issue_width
+        stats = self.stats
+        deferred: List[DynInst] = []
+        # Age-ordered select over the *ready* entities only; anything that
+        # cannot issue this cycle (port conflict, memory dependence, lost
+        # sliding-window slot) is deferred and retried next cycle.
+        while heap and issued < width:
+            inst = heappop(heap)[1]
+            entry = inst.trace
+            if (entry.is_load or entry.is_store) \
+                    and not self._memory_dependence_allows_issue(inst):
+                deferred.append(inst)
                 continue
-            if not self._sources_ready(inst, cycle):
-                remaining.append(inst)
-                continue
-            if inst.is_memory and not self._memory_dependence_allows_issue(inst):
-                remaining.append(inst)
-                continue
-            issue_outcome = self._try_issue(inst, cycle)
-            if issue_outcome == "issued":
+            outcome = self._try_issue(inst, cycle)
+            if outcome == _ISSUED:
                 issued += 1
-                self.stats.issue_slots_used += 1
-            elif issue_outcome == "slot_lost":
+                stats.issue_slots_used += 1
+            elif outcome == _SLOT_LOST:
                 # A sliding-window reservation conflict consumes the issue slot
                 # without issuing anything (Section 4.3).
                 issued += 1
-                self.stats.sliding_window_conflicts += 1
-                remaining.append(inst)
+                stats.sliding_window_conflicts += 1
+                deferred.append(inst)
             else:
-                remaining.append(inst)
-        self._issue_queue = remaining
-
-    def _sources_ready(self, inst: DynInst, cycle: int) -> bool:
-        for physical in inst.source_physical:
-            if physical is None:
-                continue
-            if self._ready_cycle.get(physical, 0) > cycle:
-                return False
-        return True
+                deferred.append(inst)
+        for inst in deferred:
+            heappush(heap, (inst.sequence, inst))
 
     def _memory_dependence_allows_issue(self, inst: DynInst) -> bool:
         """Store-sets scheduling plus in-order store address availability."""
-        if inst.is_store:
+        if inst.trace.is_store:
             return True
-        predicted = self._store_sets.predicted_store_for(inst.pc)
+        predicted = self._store_sets.predicted_store_for(inst.trace.pc)
         if predicted is None:
             return True
         # The LFST is updated at dispatch but consulted at issue, so it can
@@ -264,59 +383,77 @@ class TimingSimulator:
         # once the ROB fills behind the load.  Only older stores can forward.
         if predicted >= inst.sequence:
             return True
-        for entry in self._lsq:
-            if entry.sequence == predicted and entry.is_store and not entry.completed:
-                return False
+        entry = self._lsq_by_seq.get(predicted)
+        if entry is not None and entry.is_store and not entry.completed:
+            return False
         return True
 
-    def _try_issue(self, inst: DynInst, cycle: int) -> str:
-        """Attempt to issue; returns "issued", "blocked" or "slot_lost"."""
-        if inst.is_handle:
-            return self._try_issue_handle(inst, cycle)
-        spec = inst.static.spec
-        if spec.is_load:
-            if not self._funits.can_issue_load():
-                return "blocked"
-            self._funits.issue_load()
+    def _try_issue(self, inst: DynInst, cycle: int) -> int:
+        """Attempt to issue; returns ``_ISSUED``, ``_BLOCKED`` or ``_SLOT_LOST``."""
+        decoded = inst.decoded
+        kind = decoded.kind
+        funits = self._funits
+        if kind == KIND_INT:
+            if not funits.take_int():
+                return _BLOCKED
+            self._finish_issue(inst, cycle, latency=decoded.latency)
+            return _ISSUED
+        if kind == KIND_LOAD:
+            if not funits.take_load():
+                return _BLOCKED
             self._issue_load(inst, cycle)
-            return "issued"
-        if spec.is_store:
-            if not self._funits.can_issue_store():
-                return "blocked"
-            self._funits.issue_store()
+            return _ISSUED
+        if kind == KIND_STORE:
+            if not funits.take_store():
+                return _BLOCKED
             self._issue_store(inst, cycle)
-            return "issued"
-        if spec.is_fp:
-            if not self._funits.can_issue_fp():
-                return "blocked"
-            self._funits.issue_fp()
-            self._finish_issue(inst, cycle, latency=spec.latency)
-            return "issued"
-        if spec.op_class in (OpClass.ALU, OpClass.MUL) or spec.is_control \
-                or spec.op_class is OpClass.NOP or spec.op_class is OpClass.HALT:
-            if not self._funits.can_issue_int():
-                return "blocked"
-            self._funits.issue_int()
-            self._finish_issue(inst, cycle, latency=max(1, spec.latency))
-            return "issued"
-        raise TimingError(f"cannot issue opcode {inst.static.op}")
+            return _ISSUED
+        if kind == KIND_FP:
+            if not funits.take_fp():
+                return _BLOCKED
+            self._finish_issue(inst, cycle, latency=decoded.latency)
+            return _ISSUED
+        if kind == KIND_HANDLE:
+            return self._try_issue_handle(inst, cycle)
+        raise TimingError(f"cannot issue opcode {decoded.op}")
 
     # -- singleton issue helpers ---------------------------------------------------
 
     def _finish_issue(self, inst: DynInst, cycle: int, *, latency: int,
                       output_latency: Optional[int] = None) -> None:
         inst.issue_cycle = cycle
-        execute_start = cycle + self._config.register_read_latency
-        inst.complete_cycle = execute_start + latency
-        if inst.destination_physical is not None:
+        self._iq_count -= 1
+        complete_cycle = cycle + self._register_read_latency + latency
+        inst.complete_cycle = complete_cycle
+        bucket = self._complete_buckets.get(complete_cycle)
+        if bucket is None:
+            self._complete_buckets[complete_cycle] = [inst]
+        else:
+            bucket.append(inst)
+        dest = inst.destination_physical
+        if dest is not None:
             visible = output_latency if output_latency is not None else latency
-            wakeup = max(visible, self._config.scheduler_latency)
-            inst.output_ready_cycle = cycle + wakeup
-            self._ready_cycle[inst.destination_physical] = inst.output_ready_cycle
-        self._executing.append(inst)
+            scheduler_latency = self._scheduler_latency
+            broadcast = cycle + (visible if visible > scheduler_latency
+                                 else scheduler_latency)
+            inst.output_ready_cycle = broadcast
+            self._ready_cycle[dest] = broadcast
+            waiters = self._reg_waiters.pop(dest, None)
+            if waiters:
+                wake_buckets = self._wake_buckets
+                for consumer in waiters:
+                    consumer.pending_sources -= 1
+                    if consumer.wake_cycle < broadcast:
+                        consumer.wake_cycle = broadcast
+                    if consumer.pending_sources == 0:
+                        wake = wake_buckets.get(consumer.wake_cycle)
+                        if wake is None:
+                            wake_buckets[consumer.wake_cycle] = [consumer]
+                        else:
+                            wake.append(consumer)
 
     def _issue_load(self, inst: DynInst, cycle: int) -> None:
-        address = inst.effective_address or 0
+        address = inst.trace.effective_address or 0
         latency = self._memory.data_latency(address)
         self.stats.loads_executed += 1
         self._check_ordering_violation(inst, cycle)
@@ -325,25 +462,25 @@ class TimingSimulator:
 
     def _issue_store(self, inst: DynInst, cycle: int) -> None:
         self.stats.stores_executed += 1
-        self._mark_lsq_issued(inst.sequence, inst.effective_address)
+        self._mark_lsq_issued(inst.sequence, inst.trace.effective_address)
         # Stores write the data cache at retirement; for scheduling purposes
         # the store executes (computes its address, forwards data) in one cycle.
         self._finish_issue(inst, cycle, latency=1)
 
     def _mark_lsq_issued(self, sequence: int, address: Optional[int]) -> None:
-        for entry in self._lsq:
-            if entry.sequence == sequence:
-                entry.issued = True
-                entry.address = address
-                return
+        entry = self._lsq_by_seq.get(sequence)
+        if entry is not None:
+            entry.issued = True
+            entry.address = address
 
     def _check_ordering_violation(self, inst: DynInst, cycle: int) -> None:
         """Detect a load issuing before an older conflicting store has executed."""
-        address = inst.effective_address
+        address = inst.trace.effective_address
         if address is None:
             return
+        sequence = inst.sequence
         for entry in self._lsq:
-            if entry.sequence >= inst.sequence:
+            if entry.sequence >= sequence:
                 break
             if not entry.is_store or entry.completed:
                 continue
@@ -354,7 +491,7 @@ class TimingSimulator:
             if entry.address == address:
                 self.stats.ordering_violations += 1
                 inst.caused_ordering_violation = True
-                self._store_sets.train_violation(inst.pc, entry.pc)
+                self._store_sets.train_violation(inst.trace.pc, entry.pc)
                 self._fetch_stalled_until = max(
                     self._fetch_stalled_until,
                     cycle + self._config.ordering_violation_penalty)
@@ -362,34 +499,31 @@ class TimingSimulator:
 
     # -- handle issue helpers --------------------------------------------------------
 
-    def _try_issue_handle(self, inst: DynInst, cycle: int) -> str:
-        entry = inst.mgt_entry
-        template = entry.template
-        header = entry.header
-        if template.is_integer_only and self._config.alu_pipelines > 0:
-            if not self._funits.can_issue_integer_handle():
-                return "blocked"
-            self._funits.issue_integer_handle()
+    def _try_issue_handle(self, inst: DynInst, cycle: int) -> int:
+        decoded = inst.decoded
+        if decoded.integer_only and self._alu_pipelines > 0:
+            if not self._funits.take_integer_handle():
+                return _BLOCKED
         else:
-            if not self._config.sliding_window_scheduler and not template.is_integer_only:
+            if not self._sliding_window and not decoded.integer_only:
                 raise TimingError(
                     "integer-memory handles require the sliding-window scheduler; "
                     f"config {self._config.name!r} does not enable it")
-            if not self._funits.can_issue_memory_handle(header.fu0, header.fubmp):
-                return "slot_lost"
-            self._funits.issue_memory_handle(header.fu0, header.fubmp)
+            if not self._funits.can_issue_memory_handle(decoded.fu0, decoded.fubmp):
+                return _SLOT_LOST
+            self._funits.issue_memory_handle(decoded.fu0, decoded.fubmp)
 
-        execution_cycles = len(entry.banks)
-        output_latency = header.lat
+        execution_cycles = decoded.execution_cycles
+        output_latency = decoded.header_lat
         extra_memory = 0
-        if template.has_load:
-            address = inst.effective_address or 0
+        if decoded.has_load:
+            address = inst.trace.effective_address or 0
             latency = self._memory.data_latency(address)
             self.stats.loads_executed += 1
             self._check_ordering_violation(inst, cycle)
             self._mark_lsq_issued(inst.sequence, address)
-            extra_memory = max(0, latency - self._config.dcache.hit_latency)
-            if extra_memory > 0 and template.has_interior_load:
+            extra_memory = max(0, latency - self._dcache_hit_latency)
+            if extra_memory > 0 and decoded.has_interior_load:
                 # An interior load missed: the whole mini-graph is replayed
                 # once the miss returns (Section 4.3).
                 self.stats.minigraph_replays += 1
@@ -397,73 +531,119 @@ class TimingSimulator:
                 extra_memory += self._config.minigraph_replay_penalty + execution_cycles
                 output_latency = execution_cycles + extra_memory
             elif extra_memory > 0:
-                output_latency += extra_memory if template.out_index == template.size - 1 else 0
-        elif template.has_store:
+                output_latency += extra_memory if decoded.out_is_last else 0
+        elif decoded.has_store:
             self.stats.stores_executed += 1
-            self._mark_lsq_issued(inst.sequence, inst.effective_address)
+            self._mark_lsq_issued(inst.sequence, inst.trace.effective_address)
 
         total_latency = execution_cycles + extra_memory
         self._finish_issue(inst, cycle, latency=total_latency,
                            output_latency=output_latency)
         # The MGST sequencer frees the scheduler entry only when the terminal
         # instruction issues, so the handle holds its entry while executing.
-        self._iq_busy_until.append(cycle + execution_cycles)
-        return "issued"
+        heappush(self._busy_heap, cycle + execution_cycles)
+        return _ISSUED
 
     # ---------------------------------------------------------------- rename --
 
     def _rename(self, cycle: int) -> None:
+        front_end = self._front_end
+        if not front_end:
+            return
         renamed = 0
-        while self._front_end and renamed < self._config.rename_width:
-            inst = self._front_end[0]
-            if inst.fetch_cycle + self._config.front_end_depth > cycle:
+        stats = self.stats
+        rob = self._rob
+        lsq = self._lsq
+        free_list = self._free_list
+        rob_size = self._rob_size
+        iq_size = self._iq_size
+        lsq_size = self._lsq_size
+        horizon = cycle - self._front_end_depth
+        while front_end and renamed < self._rename_width:
+            inst = front_end[0]
+            if inst.fetch_cycle > horizon:
                 break
-            if len(self._rob) >= self._config.rob_size:
-                self.stats.stall_rob_full += 1
+            if len(rob) >= rob_size:
+                stats.stall_rob_full += 1
                 break
-            if self._issue_queue_occupancy(cycle) >= self._config.issue_queue_size:
-                self.stats.stall_iq_full += 1
+            if self._issue_queue_occupancy(cycle) >= iq_size:
+                stats.stall_iq_full += 1
                 break
-            if inst.is_memory and len(self._lsq) >= self._config.lsq_size:
-                self.stats.stall_lsq_full += 1
+            entry = inst.trace
+            if (entry.is_load or entry.is_store) and len(lsq) >= lsq_size:
+                stats.stall_lsq_full += 1
                 break
-            if inst.needs_destination and not self._free_list:
-                self.stats.stall_no_physical_register += 1
+            if inst.decoded.needs_destination and not free_list:
+                stats.stall_no_physical_register += 1
                 break
-            self._front_end.popleft()
+            front_end.popleft()
             self._rename_one(inst, cycle)
             renamed += 1
-        if renamed == 0 and self._front_end:
-            self.stats.rename_stall_cycles += 1
+        if renamed == 0 and front_end:
+            stats.rename_stall_cycles += 1
 
     def _issue_queue_occupancy(self, cycle: int) -> int:
-        self._iq_busy_until = [until for until in self._iq_busy_until if until > cycle]
-        return len(self._issue_queue) + len(self._iq_busy_until)
+        busy = self._busy_heap
+        while busy and busy[0] <= cycle:
+            heappop(busy)
+        return self._iq_count + len(busy)
 
     def _rename_one(self, inst: DynInst, cycle: int) -> None:
         inst.rename_cycle = cycle
-        sources = inst.source_registers()
-        physical_sources: List[Optional[int]] = [None, None]
-        for position, reg in enumerate(sources[:2]):
-            physical_sources[position] = self._rename_map.get(reg)
-        inst.source_physical = (physical_sources[0], physical_sources[1])
+        decoded = inst.decoded
+        rename_map = self._rename_map
+        source0, source1 = decoded.renamed_sources
+        physical0 = rename_map.get(source0) if source0 is not None else None
+        physical1 = rename_map.get(source1) if source1 is not None else None
+        inst.source_physical = (physical0, physical1)
 
-        destination = inst.static.destination_register()
-        if inst.needs_destination and destination is not None:
+        ready_cycle = self._ready_cycle
+        if decoded.needs_destination:
             physical = self._free_list.popleft()
-            inst.previous_physical = self._rename_map.get(destination)
-            self._rename_map[destination] = physical
+            inst.previous_physical = rename_map.get(decoded.dest)
+            rename_map[decoded.dest] = physical
             inst.destination_physical = physical
-            self._ready_cycle[physical] = float("inf")  # not ready until issue computes it
+            ready_cycle[physical] = FOREVER  # not ready until issue computes it
+
+        # Wakeup registration: count outstanding producers; if all sources
+        # have broadcast, schedule straight into the earliest legal select
+        # cycle (the cycle after rename, or the latest operand-ready cycle).
+        pending = 0
+        wake = cycle + 1
+        for physical in (physical0, physical1):
+            if physical is None:
+                continue
+            broadcast = ready_cycle.get(physical, 0)
+            if broadcast >= FOREVER:
+                pending += 1
+                waiters = self._reg_waiters.get(physical)
+                if waiters is None:
+                    self._reg_waiters[physical] = [inst]
+                else:
+                    waiters.append(inst)
+            elif broadcast > wake:
+                wake = broadcast
+        if pending:
+            inst.pending_sources = pending
+            inst.wake_cycle = wake
+        else:
+            bucket = self._wake_buckets.get(wake)
+            if bucket is None:
+                self._wake_buckets[wake] = [inst]
+            else:
+                bucket.append(inst)
+        self._iq_count += 1
 
         self._rob.append(inst)
-        self._issue_queue.append(inst)
-        if inst.is_memory:
-            self._lsq.append(_LsqEntry(
-                sequence=inst.sequence, is_store=inst.is_store, pc=inst.pc,
-                address=inst.effective_address if inst.is_store else None))
-            if inst.is_store:
-                self._store_sets.store_dispatched(inst.pc, inst.sequence)
+        entry = inst.trace
+        if entry.is_load or entry.is_store:
+            lsq_entry = _LsqEntry(
+                sequence=inst.sequence, is_store=entry.is_store, pc=entry.pc,
+                address=entry.effective_address if entry.is_store else None)
+            self._lsq.append(lsq_entry)
+            self._lsq_by_seq[inst.sequence] = lsq_entry
+            if entry.is_store:
+                self._store_sets.store_dispatched(entry.pc, inst.sequence)
 
     # ----------------------------------------------------------------- fetch --
 
@@ -471,39 +651,53 @@ class TimingSimulator:
         if self._fetch_blocked_on is not None or cycle < self._fetch_stalled_until:
             self.stats.fetch_stall_cycles += 1
             return
-        if self._fetch_index >= len(self._trace):
+        entries = self._entries
+        index = self._fetch_index
+        total = len(entries)
+        if index >= total:
             return
-        if len(self._front_end) >= self._config.fetch_width * self._config.front_end_depth:
+        front_end = self._front_end
+        if len(front_end) >= self._fetch_buffer_limit:
             self.stats.fetch_stall_cycles += 1
             return
 
         fetched = 0
         current_line: Optional[int] = None
-        while fetched < self._config.fetch_width and self._fetch_index < len(self._trace):
-            entry = self._trace[self._fetch_index]
-            address = self._layout.fetch_address(entry.pc)
-            line = self._memory.line_address(address, instruction=True)
+        feed = self._feed
+        memory = self._memory
+        layout = self._layout
+        stats = self.stats
+        icache_hit = self._icache_hit_latency
+        width = self._fetch_width
+        while fetched < width and index < total:
+            entry = entries[index]
+            address = layout.address_for_index(entry.index) if layout.compressed \
+                else entry.pc
+            line = memory.line_address(address, instruction=True)
             if line != current_line:
-                latency = self._memory.instruction_latency(address)
-                if latency > self._config.icache.hit_latency:
+                latency = memory.instruction_latency(address)
+                if latency > icache_hit:
                     # Instruction cache miss: charge the miss latency and stop
                     # fetching this cycle.
                     self._fetch_stalled_until = max(self._fetch_stalled_until,
                                                     cycle + latency)
                     if fetched == 0:
-                        self.stats.fetch_stall_cycles += 1
+                        stats.fetch_stall_cycles += 1
                     break
                 current_line = line
-            inst = self._make_dyninst(entry, cycle)
-            self._front_end.append(inst)
-            self._fetch_index += 1
+            decoded = feed[index]
+            inst = DynInst(self._next_sequence, entry, decoded)
+            inst.fetch_cycle = cycle
+            self._next_sequence += 1
+            front_end.append(inst)
+            index += 1
             fetched += 1
-            self.stats.fetched_slots += 1
+            stats.fetched_slots += 1
 
             if entry.is_control:
-                self.stats.branch_lookups += 1
+                stats.branch_lookups += 1
                 prediction = self._predictor.predict(
-                    entry.pc, is_conditional=inst.is_conditional_branch)
+                    entry.pc, is_conditional=decoded.is_conditional_branch)
                 inst.predicted_taken = prediction.taken
                 inst.predicted_target = prediction.target
                 actual_taken = bool(entry.taken)
@@ -515,27 +709,7 @@ class TimingSimulator:
                 if actual_taken:
                     # Correctly predicted taken branches still end the fetch group.
                     break
-
-    def _make_dyninst(self, entry: TraceEntry, cycle: int) -> DynInst:
-        static = self._program.at(entry.pc)
-        mgt_entry: Optional[MgtEntry] = None
-        if entry.is_handle:
-            if self._mgt is None:
-                raise TimingError("trace contains handles but no MGT was supplied")
-            mgt_entry = self._mgt.lookup(entry.mgid)
-        inst = DynInst(sequence=self._next_sequence, trace=entry, static=static,
-                       mgt_entry=mgt_entry)
-        inst.fetch_cycle = cycle
-        self._next_sequence += 1
-        return inst
-
-    # ------------------------------------------------------------- accounting --
-
-    def _account_occupancy(self, cycle: int) -> None:
-        self.stats.rob_occupancy_sum += len(self._rob)
-        self.stats.iq_occupancy_sum += self._issue_queue_occupancy(cycle)
-        in_use = self._config.physical_registers - len(self._free_list)
-        self.stats.physical_registers_in_use_sum += in_use
+        self._fetch_index = index
 
 
 def simulate_program(program: Program, trace: Trace, config: MachineConfig, *,

@@ -5,7 +5,7 @@ binaries compiled for Alpha.  Those binaries and their inputs are not
 available here, so each suite is represented by a family of synthetic kernels
 written in MGA assembly whose *structural* properties (basic block size, ALU
 chain length, load/store density, branchiness, footprint) mimic the
-corresponding suite — see DESIGN.md for the substitution rationale.
+corresponding suite; docs/architecture.md records the substitution rationale.
 
 Every benchmark provides at least two deterministic input sets:
 

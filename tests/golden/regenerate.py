@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Regenerate ``timing_stats.json`` from the current timing simulator.
+
+Run this only when a deliberate modelling change (not a performance
+refactor) is supposed to move the numbers; the diff of the JSON then
+documents exactly which statistics moved.
+"""
+
+import json
+from pathlib import Path
+
+from repro.api import RunSpec, Session
+from repro.workloads import REGISTRY
+
+BUDGET = 6000
+
+
+def main() -> None:
+    session = Session()
+    golden = {}
+    for name in REGISTRY.names("embedded"):
+        artifacts = session.run(RunSpec(benchmark=name, budget=BUDGET))
+        golden[name] = {
+            "budget": BUDGET,
+            "baseline": artifacts.baseline_timing.as_dict(),
+            "minigraph": artifacts.timing.as_dict(),
+            "coverage": artifacts.coverage,
+        }
+    path = Path(__file__).parent / "timing_stats.json"
+    path.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {len(golden)} benchmarks to {path}")
+
+
+if __name__ == "__main__":
+    main()

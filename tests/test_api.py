@@ -262,6 +262,55 @@ class TestSessionMap:
         assert session.cache_stats.puts > 0
 
 
+class TestSessionSweep:
+    """The artifact-sharing fast path over :meth:`Session.map`."""
+
+    BENCHMARKS = ["bitcount", "crc"]
+
+    def _machine_sweep_specs(self):
+        # Two benchmarks x three policy/machine variants: each benchmark's
+        # baseline functional stages are shared by its three specs.
+        from repro.minigraph import INTEGER_POLICY
+        specs = []
+        for name in self.BENCHMARKS:
+            base = RunSpec(benchmark=name, budget=BUDGET)
+            specs.extend([
+                base,
+                base.baseline_only(),
+                base.with_policy(INTEGER_POLICY),
+            ])
+        return specs
+
+    def test_sweep_matches_map(self):
+        specs = self._machine_sweep_specs()
+        mapped = Session().map(specs, workers=1)
+        swept = Session().sweep(specs, workers=2)
+        assert [a.spec.label for a in swept] == [a.spec.label for a in mapped]
+        mapped_bytes = pickle.dumps([(a.timing, a.baseline_timing, a.coverage)
+                                     for a in mapped])
+        swept_bytes = pickle.dumps([(a.timing, a.baseline_timing, a.coverage)
+                                    for a in swept])
+        assert mapped_bytes == swept_bytes
+
+    def test_sweep_shares_functional_runs_within_groups(self):
+        specs = self._machine_sweep_specs()
+        session = Session()
+        session.sweep(specs, workers=2)
+        # Per benchmark: one baseline profile run plus one rewritten-trace run
+        # per selection policy (2).  map() with per-spec workers would have
+        # re-profiled in every worker.
+        assert session.stats.functional_runs == 3 * len(self.BENCHMARKS)
+
+    def test_sweep_serial_keeps_input_order(self):
+        specs = self._machine_sweep_specs()
+        results = Session().sweep(specs, workers=1)
+        assert [a.spec.spec_hash for a in results] == \
+            [spec.spec_hash for spec in specs]
+
+    def test_sweep_empty(self):
+        assert Session().sweep([]) == []
+
+
 # -- zero-baseline speedups -------------------------------------------------------
 
 

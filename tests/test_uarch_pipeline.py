@@ -208,3 +208,72 @@ class TestMiniGraphPipeline:
         table = stats.as_dict()
         assert table["cycles"] > 0
         assert "ipc" in table and "dynamic_coverage" in table
+
+
+class TestDynInstFromStatic:
+    def test_standalone_construction_classifies_like_the_pipeline(self):
+        from repro.isa.instruction import Instruction
+        from repro.sim.trace import TraceEntry
+        from repro.uarch import DynInst
+        static = Instruction("ldq", rd=2, rs1=4, imm=16)
+        entry = TraceEntry(pc=0x1010, index=4, size=1, next_pc=0x1014,
+                           is_load=True, effective_address=0x2000)
+        inst = DynInst.from_static(7, entry, static, index=4)
+        assert inst.is_load and inst.is_memory and not inst.is_store
+        assert not inst.is_handle and inst.needs_destination
+        assert inst.decoded.index == 4
+        assert inst.static is static and inst.mgt_entry is None
+        assert inst.pc == 0x1010 and inst.effective_address == 0x2000
+        assert not inst.issued and not inst.completed
+
+
+class TestEventDrivenScheduler:
+    """Regression tests for the wakeup/select event queue."""
+
+    @staticmethod
+    def _timeline(program, config, *, mgt=None, budget=BUDGET):
+        functional = run_program(program, max_instructions=budget,
+                                 mgt=mgt)
+        simulator = TimingSimulator(program, functional.trace, config,
+                                    mgt=mgt, record_timeline=True)
+        simulator.run()
+        return simulator.timeline
+
+    @staticmethod
+    def _assert_no_early_wakeups(timeline):
+        """No consumer may issue before its producer's broadcast cycle."""
+        producers = {}  # physical register -> most recent writer
+        checked = 0
+        for inst in timeline:
+            assert inst.issue_cycle > inst.rename_cycle
+            assert inst.complete_cycle > inst.issue_cycle
+            for physical in inst.source_physical:
+                if physical is None:
+                    continue
+                producer = producers.get(physical)
+                if producer is None:
+                    continue  # architectural initial value, ready at cycle 0
+                assert inst.issue_cycle >= producer.output_ready_cycle, (
+                    f"consumer {inst.describe()} woke before producer "
+                    f"{producer.describe()} broadcast at "
+                    f"{producer.output_ready_cycle}")
+                checked += 1
+            if inst.destination_physical is not None:
+                producers[inst.destination_physical] = inst
+        assert checked > 0, "timeline exercised no register dependences"
+
+    def test_no_consumer_wakes_before_producer_broadcast(self):
+        program = load_benchmark("bitcount")
+        self._assert_no_early_wakeups(
+            self._timeline(program, baseline_config()))
+
+    def test_no_early_wakeups_with_handles(self):
+        run = prepare_minigraph_run(load_benchmark("gsm.toast"), budget=BUDGET)
+        functional = run_program(run.rewritten, mgt=run.mgt,
+                                 max_instructions=BUDGET)
+        simulator = TimingSimulator(run.rewritten, functional.trace,
+                                    integer_memory_minigraph_config(),
+                                    mgt=run.mgt, record_timeline=True)
+        stats = simulator.run()
+        assert stats.committed_handles > 0
+        self._assert_no_early_wakeups(simulator.timeline)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation tree (no third-party deps).
+
+Validates every relative link in README.md and docs/*.md:
+
+* the target file (or directory) exists relative to the linking file;
+* a ``#fragment``, when present and the target is markdown, names a heading
+  in the target file (GitHub-style slugs);
+* bare intra-document ``#fragment`` links resolve within the same file.
+
+External (``http(s)://``, ``mailto:``) links are not fetched — CI must stay
+deterministic and offline.
+
+Exit status: 0 when every link resolves, 1 otherwise (used by the CI docs
+job and by ``tests/test_docs.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+#: Inline markdown links: [text](target), [text](target "Title"),
+#: [text](<target>); images share the syntax.
+_LINK = re.compile(
+    r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+[\"'][^\"']*[\"'])?\s*\)")
+#: Reference-style link definitions: [label]: target ("Title" optional).
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*<?([^\s>]+)>?", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: Path) -> List[str]:
+    text = _CODE_FENCE.sub("", markdown.read_text(encoding="utf-8"))
+    return [_slug(match.group(1)) for match in _HEADING.finditer(text)]
+
+
+def check_file(markdown: Path) -> List[str]:
+    """Return a list of broken-link descriptions for one markdown file."""
+    errors: List[str] = []
+    text = _CODE_FENCE.sub("", markdown.read_text(encoding="utf-8"))
+    targets = [match.group(1) for match in _LINK.finditer(text)]
+    targets += [match.group(1) for match in _REF_DEF.finditer(text)]
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (markdown.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{markdown}: broken link target {target!r}")
+                continue
+        else:
+            resolved = markdown
+        if fragment and resolved.suffix == ".md":
+            if _slug(fragment) not in _anchors(resolved):
+                errors.append(f"{markdown}: missing anchor {target!r}")
+    return errors
+
+
+def documentation_files(root: Path) -> List[Path]:
+    return [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = documentation_files(root)
+    errors: List[str] = []
+    for markdown in files:
+        if not markdown.exists():
+            errors.append(f"missing documentation file: {markdown}")
+            continue
+        errors.extend(check_file(markdown))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          + ("all links ok" if not errors else f"{len(errors)} broken"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
