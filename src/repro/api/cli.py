@@ -6,8 +6,11 @@ Sub-commands:
 * ``repro figure {5,6,7,8,extras}`` — regenerate a figure of the paper;
 * ``repro bench`` — sweep a benchmark suite through :meth:`Session.sweep`,
   optionally recording simulator throughput (``--record`` writes a
-  ``BENCH_*.json`` with simulated cycles/second; ``--compare`` embeds an
-  earlier record as the *before* half of a before/after pair);
+  ``BENCH_*.json`` with simulated cycles/second plus trace-pipeline metrics
+  — binary-codec encode/decode MB/s and entries/s, encode+profile
+  throughput, artifact bytes per entry and peak RSS; ``--compare`` embeds an
+  earlier record as the *before* half of a before/after pair and derives
+  speedup ratios);
 * ``repro cache {info,clear}`` — inspect / drop the on-disk artifact cache.
 
 Every command accepts ``--cache-dir`` (defaulting to ``$REPRO_CACHE_DIR`` or
@@ -23,6 +26,11 @@ import math
 import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None  # type: ignore[assignment]
 
 from ..experiments.reporting import ResultTable
 from ..workloads.base import WorkloadError
@@ -314,23 +322,92 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     throughput = {"wall_seconds": wall_seconds,
                   "simulated_cycles": simulated_cycles,
                   "cycles_per_second": cycles_per_second}
+    trace_metrics = _trace_metrics(results)
     text = (table.render()
             + f"\n\nthroughput    : {cycles_per_second:,.0f} simulated cycles/s "
-              f"({simulated_cycles:,} cycles in {wall_seconds:.2f}s)")
+              f"({simulated_cycles:,} cycles in {wall_seconds:.2f}s)"
+            + f"\ntrace codec   : {trace_metrics['encode_MBps']:.1f} MB/s encode, "
+              f"{trace_metrics['decode_MBps']:.1f} MB/s decode, "
+              f"{trace_metrics['artifact_bytes_per_entry']:.2f} B/entry "
+              f"({trace_metrics['entries']:,} entries)")
     payload = {"bench": _table_to_dict(table),
                "results": [artifacts.report() for artifacts in results],
-               "throughput": throughput}
+               "throughput": throughput,
+               "trace": trace_metrics}
     if args.record is not None:
         record_path = _write_bench_record(args, session, names, throughput,
-                                          before)
+                                          trace_metrics, before)
         payload["record_path"] = record_path
         text += f"\nrecorded      : {record_path}"
     _emit(args, session, text, payload)
     return 0
 
 
+def _trace_metrics(results: List[Any]) -> Dict[str, Any]:
+    """Trace-pipeline throughput over the sweep's baseline traces.
+
+    Measures the binary trace codec (encode/decode over the raw column
+    payload), the encode+profile path (serializing a trace artifact plus
+    reconstructing its block profile from the index column), artifact bytes
+    per entry (what one trace costs in the cache directory) and the process
+    peak RSS.
+    """
+    from ..sim.functional import profile_from_trace
+    from ..sim.trace import TRACE_ROW_BYTES, decode_trace, encode_trace
+
+    entries = 0
+    payload_bytes = 0
+    artifact_bytes = 0
+    encode_seconds = 0.0
+    decode_seconds = 0.0
+    profile_seconds = 0.0
+    for artifacts in results:
+        trace = artifacts.baseline_trace
+        start = time.perf_counter()
+        blob = encode_trace(trace)
+        encode_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        decode_trace(blob)
+        decode_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        profile_from_trace(artifacts.program, trace)
+        profile_seconds += time.perf_counter() - start
+        entries += len(trace)
+        payload_bytes += len(trace) * TRACE_ROW_BYTES
+        artifact_bytes += len(blob)
+    megabytes = payload_bytes / 1e6
+    peak_rss_kb: Optional[float] = None
+    if resource is not None:
+        # Include waited-for pool workers: with --workers N the simulation's
+        # memory peak is in the children, not the parent.
+        peak_rss_kb = max(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+        if sys.platform == "darwin":
+            # ru_maxrss is bytes on macOS, kilobytes elsewhere.
+            peak_rss_kb /= 1024
+    return {
+        "entries": entries,
+        "column_payload_bytes": payload_bytes,
+        "artifact_bytes": artifact_bytes,
+        "artifact_bytes_per_entry":
+            artifact_bytes / entries if entries else 0.0,
+        "encode_MBps": megabytes / encode_seconds if encode_seconds else 0.0,
+        "decode_MBps": megabytes / decode_seconds if decode_seconds else 0.0,
+        "encode_entries_per_sec":
+            entries / encode_seconds if encode_seconds else 0.0,
+        "decode_entries_per_sec":
+            entries / decode_seconds if decode_seconds else 0.0,
+        "encode_profile_entries_per_sec":
+            entries / (encode_seconds + profile_seconds)
+            if encode_seconds + profile_seconds else 0.0,
+        "peak_rss_kb": peak_rss_kb,
+    }
+
+
 def _write_bench_record(args: argparse.Namespace, session: Session,
                         names: List[str], throughput: Dict[str, Any],
+                        trace_metrics: Dict[str, Any],
                         before: Optional[Dict[str, Any]]) -> str:
     """Write the ``BENCH_*.json`` simulator-throughput record.
 
@@ -348,6 +425,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         "version": session.version,
         "recorded_at": time.time(),
         **throughput,
+        "trace": trace_metrics,
         # Cache context: with a warm artifact cache no simulation runs and
         # cycles_per_second measures cache-load speed, not the simulator.
         "session_stats": session.stats.as_dict(),
@@ -361,10 +439,24 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
     if before is not None:
         record["before"] = {key: before.get(key) for key in
                             ("wall_seconds", "simulated_cycles",
-                             "cycles_per_second", "version", "recorded_at")}
+                             "cycles_per_second", "version", "recorded_at",
+                             "trace")}
         previous = before.get("cycles_per_second") or 0.0
         if previous > 0:
             record["speedup_vs_before"] = throughput["cycles_per_second"] / previous
+        previous_trace = before.get("trace") or {}
+        trace_speedups: Dict[str, float] = {}
+        for key in ("encode_entries_per_sec", "decode_entries_per_sec",
+                    "encode_profile_entries_per_sec"):
+            old = previous_trace.get(key) or 0.0
+            if old > 0:
+                trace_speedups[key] = trace_metrics[key] / old
+        old_bytes = previous_trace.get("artifact_bytes_per_entry") or 0.0
+        if old_bytes > 0 and trace_metrics["artifact_bytes_per_entry"] > 0:
+            trace_speedups["artifact_bytes_per_entry_ratio"] = \
+                trace_metrics["artifact_bytes_per_entry"] / old_bytes
+        if trace_speedups:
+            record["trace_speedup_vs_before"] = trace_speedups
     path = args.record or f"BENCH_{args.suite or 'all'}.json"
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)

@@ -14,8 +14,11 @@ out across a process pool for multi-benchmark sweeps; :meth:`Session.sweep`
 is the fast path for machine/policy sweeps, grouping specs that share
 upstream artifacts so each benchmark is profiled once per pool and the
 interned decode metadata (:mod:`repro.uarch.decode`) is reused by every
-timing run of a group.  See ``docs/api.md`` for the full contract and
-cache-invalidation semantics.
+timing run of a group.  Trace artifacts ride everywhere — pool job results,
+disk cache entries, artifacts embedding a trace — as flat packed-column
+buffers (:mod:`repro.sim.trace`'s binary codec), never as per-entry object
+graphs.  See ``docs/api.md`` for the full contract and cache-invalidation
+semantics.
 """
 
 from __future__ import annotations
@@ -44,7 +47,12 @@ from .store import MISS, ArtifactStore, CacheStats
 
 @dataclass
 class ProfileArtifact:
-    """Output of the ``profile`` stage: the baseline functional run."""
+    """Output of the ``profile`` stage: the baseline functional run.
+
+    Pickles compactly: the embedded trace serializes as one flat binary
+    column blob (``Trace.__reduce__``), both on disk and across the
+    :meth:`Session.map` / :meth:`Session.sweep` process pool.
+    """
 
     profile: BlockProfile
     trace: Trace

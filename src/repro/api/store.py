@@ -5,6 +5,21 @@ from stage name, spec material and package version, so a bump of
 ``repro.__version__`` naturally invalidates every persisted artifact.  Values
 are arbitrary picklable stage artifacts (programs, profiles, traces, MGTs,
 timing statistics).
+
+Disk entries carry one of two codecs, distinguished by their leading bytes:
+
+* **trace** — a bare :class:`~repro.sim.trace.Trace` value is written with
+  the versioned binary trace codec (:func:`repro.sim.trace.encode_trace`:
+  header + raw column bytes) and loaded back without unpickling an object
+  graph.  An entry written by an *unknown* codec version is treated as a
+  cache miss — never an error — and left on disk for the build that wrote it.
+* **pickle** — everything else.  Artifacts that *contain* a trace (e.g. the
+  profile stage's trace+profile pair) still serialize its columns as one
+  flat binary blob via ``Trace.__reduce__``.
+
+A value that cannot be serialized is kept in the memory layer and the disk
+write is skipped (the temp file is cleaned up); the cache is an optimization
+and must never take the pipeline down.
 """
 
 from __future__ import annotations
@@ -15,6 +30,16 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..sim.trace import (
+    TRACE_MAGIC,
+    Trace,
+    TraceCodecError,
+    UnknownTraceCodecVersion,
+    decode_trace,
+    encode_trace,
+    is_trace_blob,
+)
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 MISS = object()
@@ -93,40 +118,86 @@ class ArtifactStore:
         if self._cache_dir is not None:
             path = self._path(key)
             if path.exists():
-                try:
-                    with path.open("rb") as handle:
-                        value = pickle.load(handle)
-                except Exception:
-                    # A truncated or unreadable entry is just a miss.
-                    path.unlink(missing_ok=True)
-                else:
+                value = self._load_disk_entry(path)
+                if value is not MISS:
                     self.stats.disk_hits += 1
                     self._memory[key] = value
                     return value
         self.stats.misses += 1
         return MISS
 
+    @staticmethod
+    def _load_disk_entry(path: Path) -> Any:
+        """Decode one disk entry, sniffing the codec from its leading bytes."""
+        try:
+            with path.open("rb") as handle:
+                head = handle.read(len(TRACE_MAGIC))
+                if is_trace_blob(head):
+                    try:
+                        return decode_trace(head + handle.read())
+                    except UnknownTraceCodecVersion:
+                        # Another build's codec: a miss for us, but leave the
+                        # entry for the writer (keys are version-hashed, so
+                        # collisions are corruption, not contention).
+                        return MISS
+                    except TraceCodecError:
+                        path.unlink(missing_ok=True)
+                        return MISS
+                # Pickle entries stream from the handle (no whole-file copy
+                # next to the deserialized object).
+                handle.seek(0)
+                return pickle.load(handle)
+        except OSError:
+            return MISS
+        except UnknownTraceCodecVersion:
+            # A pickle entry embedding a foreign-version trace blob (via
+            # Trace.__reduce__): same policy as a bare trace — miss, leave
+            # the entry for the build that wrote it.
+            return MISS
+        except Exception:
+            # A truncated or unreadable entry is just a miss.
+            path.unlink(missing_ok=True)
+            return MISS
+
     def put(self, key: str, value: Any) -> None:
-        """Insert ``value`` into the memory layer and, if enabled, the disk layer."""
+        """Insert ``value`` into the memory layer and, if enabled, the disk layer.
+
+        Serialization failures are contained: the temp file is removed, the
+        value stays served from memory and no exception escapes — a cache
+        that cannot persist must degrade, not crash the pipeline.
+        """
         self._memory[key] = value
         self.stats.puts += 1
         if self._cache_dir is None:
             return
-        self._cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         # Write-then-rename so concurrent readers (Session.map workers sharing
-        # one cache directory) never observe a partial pickle.
-        fd, tmp_name = tempfile.mkstemp(dir=str(self._cache_dir), suffix=".tmp")
+        # one cache directory) never observe a partial entry.
+        try:
+            self._cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(self._cache_dir),
+                                            suffix=".tmp")
+        except OSError:
+            # Unwritable cache directory: stay memory-only for this value.
+            return
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                if isinstance(value, Trace):
+                    # Bare traces take the binary codec: header + raw column
+                    # bytes, loaded back without unpickling an object graph.
+                    handle.write(encode_trace(value))
+                else:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            # Unserializable artifact or failed disk write (full disk,
+            # permissions): stay memory-only for this value.
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:

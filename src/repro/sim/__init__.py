@@ -4,18 +4,22 @@ from .functional import (
     FunctionalResult,
     FunctionalSimulator,
     SimulationError,
+    profile_from_trace,
     run_program,
 )
 from .memory import Memory, MemoryError_
-from .trace import Trace, TraceEntry
+from .trace import Trace, TraceEntry, decode_trace, encode_trace
 
 __all__ = [
     "FunctionalResult",
     "FunctionalSimulator",
     "SimulationError",
+    "profile_from_trace",
     "run_program",
     "Memory",
     "MemoryError_",
     "Trace",
     "TraceEntry",
+    "decode_trace",
+    "encode_trace",
 ]

@@ -13,8 +13,9 @@ mini-graph microarchitecture treats them as transient.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..isa.instruction import INSTRUCTION_BYTES, Instruction
 from ..isa.opcodes import OpClass
@@ -26,7 +27,7 @@ from ..program.profile import BlockProfile
 from ..program.program import Program
 from ..program.weakcache import PerProgramCache
 from .memory import Memory
-from .trace import Trace, TraceEntry
+from .trace import TF_HAS_EA, TF_LOAD, TF_STORE, Trace, pack_flags
 
 _WORD_MASK = 0xFFFFFFFFFFFFFFFF
 
@@ -213,11 +214,17 @@ _FP_FNS: Dict[str, Callable[[int, int], int]] = {
 # The interpreter loop used to re-derive everything per committed instruction
 # — opcode spec, operand usage, basic block, trace-entry fields — although all
 # of it is static.  A *plan* precompiles each static instruction into a flat
-# dispatch tuple (kind code first) and interns the trace entries whose fields
-# are fully static (ALU results, both branch outcomes, direct jumps/calls),
-# so the hot loop is a table dispatch plus raw list/dict operations.  Plans
-# are cached per program in a process-wide id-keyed weak map, mirroring
-# :mod:`repro.uarch.decode`.
+# dispatch tuple (kind code first) and interns the packed trace *rows* whose
+# fields are fully static (ALU results, both branch outcomes, direct
+# jumps/calls), so the hot loop is a table dispatch plus raw list/dict
+# operations.  The emitted rows are column value tuples
+# ``(pc, index, size, next_pc, flags, effective_address, mgid)`` that the
+# columnar :class:`~repro.sim.trace.Trace` transposes in one pass at the end
+# of the run; the basic-block profile is likewise derived from the committed
+# index column in one :class:`collections.Counter` pass (using the plan's
+# per-index block id / profile increment tables) instead of two dict
+# operations per committed instruction.  Plans are cached per program in a
+# process-wide id-keyed weak map, mirroring :mod:`repro.uarch.decode`.
 # ---------------------------------------------------------------------------
 
 _K_NOP = 0
@@ -242,83 +249,107 @@ def _norm_reg(reg: Optional[int]) -> Optional[int]:
     return reg
 
 
-def _build_plan(program: Program) -> List[Tuple[Any, ...]]:
+#: Static row flags, resolved once at plan-build time.
+_ROW_PLAIN = 0
+_ROW_TAKEN = pack_flags(True, True, False, False, False, False)
+_ROW_FALL = pack_flags(True, False, False, False, False, False)
+_ROW_HALT = pack_flags(True, None, False, False, False, False)
+_ROW_LOAD = TF_LOAD | TF_HAS_EA
+_ROW_STORE = TF_STORE | TF_HAS_EA
+
+
+@dataclass
+class _Plan:
+    """Compiled dispatch steps plus the per-index profile tables.
+
+    ``bids[i]`` / ``incs[i]`` are the basic-block id and profile increment of
+    static instruction ``i``; the run loop never touches them — the block
+    profile is reconstructed from the committed index column afterwards.
+    """
+
+    steps: List[Tuple[Any, ...]]
+    bids: List[int]
+    incs: List[int]
+
+
+def _build_plan(program: Program) -> _Plan:
     """Compile ``program`` into per-index dispatch tuples.
 
-    The returned plan references instructions and interned trace entries but
-    never the program itself, so the plan cache cannot keep programs alive.
+    The returned plan references instructions and interned packed trace rows
+    but never the program itself, so the plan cache cannot keep programs
+    alive.
     """
     block_index = BlockIndex(program)
     text_base = program.text_base
-    plan: List[Tuple[Any, ...]] = []
+    steps: List[Tuple[Any, ...]] = []
+    bids: List[int] = []
+    incs: List[int] = []
     for index, insn in enumerate(program.instructions):
         pc = text_base + index * INSTRUCTION_BYTES
         next_pc = pc + INSTRUCTION_BYTES
         spec = insn.spec
         block = block_index.block_of_index(index)
         first_useful = FunctionalSimulator._first_useful_index(block)
-        bid = block.block_id
-        inc = 1 if index in (block.start_index, first_useful) else 0
+        bids.append(block.block_id)
+        incs.append(1 if index in (block.start_index, first_useful) else 0)
         rd = _norm_reg(insn.rd)
         rs1 = _norm_reg(insn.rs1)
         rs2 = _norm_reg(insn.rs2)
 
         if spec.op_class is OpClass.NOP:
-            plan.append((_K_NOP,))
+            steps.append((_K_NOP,))
         elif spec.op_class is OpClass.MG:
-            plan.append((_K_HANDLE, insn, bid, inc))
+            steps.append((_K_HANDLE, insn))
         elif spec.op_class in (OpClass.ALU, OpClass.MUL):
-            entry = TraceEntry(pc, index, 1, next_pc)
+            row = (pc, index, 1, next_pc, _ROW_PLAIN, 0, -1)
             if insn.op == "cmovne":
-                plan.append((_K_CMOVNE, rd, rs1, rs2, entry, bid, inc))
+                steps.append((_K_CMOVNE, rd, rs1, rs2, row))
             elif insn.op == "cmoveq":
-                plan.append((_K_CMOVEQ, rd, rs1, rs2, entry, bid, inc))
+                steps.append((_K_CMOVEQ, rd, rs1, rs2, row))
             else:
-                plan.append((_K_ALU, _ALU[insn.op], rd, rs1, rs2, insn.imm,
-                             entry, bid, inc))
+                steps.append((_K_ALU, _ALU[insn.op], rd, rs1, rs2, insn.imm,
+                              row))
         elif spec.is_fp:
-            entry = TraceEntry(pc, index, 1, next_pc)
+            row = (pc, index, 1, next_pc, _ROW_PLAIN, 0, -1)
             try:
                 fp_fn = _FP_FNS[insn.op]
             except KeyError:
                 raise SimulationError(f"unknown FP opcode {insn.op}") from None
-            plan.append((_K_FP, fp_fn, rd, rs1, rs2, entry, bid, inc))
+            steps.append((_K_FP, fp_fn, rd, rs1, rs2, row))
         elif spec.is_load:
-            plan.append((_K_LOAD, _ACCESS_SIZE[insn.op],
-                         insn.op not in _UNSIGNED_LOADS, rd, rs1,
-                         insn.imm or 0, pc, next_pc, index, bid, inc))
+            steps.append((_K_LOAD, _ACCESS_SIZE[insn.op],
+                          insn.op not in _UNSIGNED_LOADS, rd, rs1,
+                          insn.imm or 0, pc, next_pc, index))
         elif spec.is_store:
-            plan.append((_K_STORE, _ACCESS_SIZE[insn.op], rs1, rs2,
-                         insn.imm or 0, pc, next_pc, index, bid, inc))
+            steps.append((_K_STORE, _ACCESS_SIZE[insn.op], rs1, rs2,
+                          insn.imm or 0, pc, next_pc, index))
         elif spec.op_class is OpClass.BRANCH:
             target = insn.imm
-            taken_entry = TraceEntry(pc, index, 1, target,
-                                     is_control=True, taken=True)
-            fall_entry = TraceEntry(pc, index, 1, next_pc,
-                                    is_control=True, taken=False)
-            plan.append((_K_BRANCH, _BRANCH_FNS[insn.op], rs1, target,
-                         taken_entry, fall_entry, bid, inc))
+            taken_row = (pc, index, 1, target, _ROW_TAKEN, 0, -1)
+            fall_row = (pc, index, 1, next_pc, _ROW_FALL, 0, -1)
+            steps.append((_K_BRANCH, _BRANCH_FNS[insn.op], rs1, target,
+                          taken_row, fall_row))
         elif spec.op_class is OpClass.JUMP:
-            entry = TraceEntry(pc, index, 1, insn.imm, is_control=True, taken=True)
-            plan.append((_K_JUMP, insn.imm, entry, bid, inc))
+            row = (pc, index, 1, insn.imm, _ROW_TAKEN, 0, -1)
+            steps.append((_K_JUMP, insn.imm, row))
         elif spec.op_class is OpClass.CALL:
-            entry = TraceEntry(pc, index, 1, insn.imm, is_control=True, taken=True)
-            plan.append((_K_CALL, rd, insn.imm, entry, bid, inc))
+            row = (pc, index, 1, insn.imm, _ROW_TAKEN, 0, -1)
+            steps.append((_K_CALL, rd, insn.imm, row))
         elif spec.op_class is OpClass.INDIRECT:
-            plan.append((_K_INDIRECT, rs1, pc, index, bid, inc))
+            steps.append((_K_INDIRECT, rs1, pc, index))
         elif spec.op_class is OpClass.HALT:
             # halt is classified as a control transfer (CONTROL_CLASSES) but
             # has no outcome: is_control=True, taken=None.
-            entry = TraceEntry(pc, index, 1, next_pc, is_control=True)
-            plan.append((_K_HALT, entry, bid, inc))
+            row = (pc, index, 1, next_pc, _ROW_HALT, 0, -1)
+            steps.append((_K_HALT, row))
         else:  # pragma: no cover - the opcode table has no other classes
             raise SimulationError(f"cannot compile opcode {insn.op}")
-    return plan
+    return _Plan(steps=steps, bids=bids, incs=incs)
 
 
 #: Only the plan is cached — a BlockIndex holds a strong reference to its
 #: program, which would pin every program in the cache forever.
-_PLANS: PerProgramCache[List[Tuple[Any, ...]]] = PerProgramCache(_build_plan)
+_PLANS: PerProgramCache[_Plan] = PerProgramCache(_build_plan)
 
 
 class FunctionalSimulator:
@@ -347,32 +378,43 @@ class FunctionalSimulator:
         program = self._program
         registers = [0] * NUM_ARCH_REGS
         memory = Memory.from_image(program.data)
-        profile = BlockProfile(program_name=program.name, input_name=input_name)
-        entries: Optional[List[TraceEntry]] = [] if collect_trace else None
+        # Committed rows: column value tuples.  Fully static rows (ALU, both
+        # branch outcomes, jumps, calls, halt) are interned in the plan, so
+        # committing one is a single list append of a shared tuple; dynamic
+        # rows (loads, stores, indirect jumps, handles) are plain tuples.
+        # Trace-free runs keep only the index column (the profile input), not
+        # the rows themselves.
+        rows: List[Tuple[int, int, int, int, int, int, int]] = []
+        if collect_trace:
+            rows_append = rows.append
+        else:
+            indices: List[int] = []
+            indices_append = indices.append
+            rows_append = lambda row: indices_append(row[1])  # noqa: E731
 
         plan = self._plan
-        plan_size = len(plan)
+        steps = plan.steps
+        plan_size = len(steps)
         text_base = program.text_base
-        counts = profile.counts
-        counts_get = counts.get
         mem_load = memory.load
         mem_store = memory.store
         mask = _WORD_MASK
 
         pc = program.entry_pc
         executed = 0
-        committed = 0
         halted = False
 
         # One dispatch tuple per static instruction; every committed entry is
-        # a table dispatch plus raw list/dict work — no per-instance decoding.
+        # a table dispatch plus raw list work — no per-instance decoding, no
+        # per-instruction profile bookkeeping (derived from the index column
+        # below), no trace-record allocation on the static paths.
         while executed < max_instructions:
             offset = pc - text_base
             index = offset >> 2
             if offset < 0 or index >= plan_size or offset & 3:
                 raise SimulationError(
                     f"{program.name}: execution left the text segment at {pc:#x}")
-            step = plan[index]
+            step = steps[index]
             kind = step[0]
 
             if kind == _K_NOP:
@@ -380,47 +422,42 @@ class FunctionalSimulator:
                 continue
 
             if kind == _K_ALU:
-                _, fn, rd, rs1, rs2, imm, entry, bid, inc = step
+                _, fn, rd, rs1, rs2, imm, row = step
                 result = fn(registers[rs1] if rs1 is not None else 0,
                             registers[rs2] if rs2 is not None else 0, imm)
                 if rd is not None:
                     registers[rd] = result & mask
                 next_pc = pc + INSTRUCTION_BYTES
             elif kind == _K_LOAD:
-                _, size, signed, rd, rs1, imm, entry_pc, next_pc, index, bid, inc = step
+                _, size, signed, rd, rs1, imm, entry_pc, next_pc, index = step
                 address = ((registers[rs1] if rs1 is not None else 0) + imm) & mask
                 value = mem_load(address, size, signed=signed)
                 if rd is not None:
                     registers[rd] = value & mask
-                entry = TraceEntry(entry_pc, index, 1, next_pc, False, None,
-                                   True, False, address, None)
+                row = (entry_pc, index, 1, next_pc, _ROW_LOAD, address, -1)
             elif kind == _K_BRANCH:
-                _, fn, rs1, target, taken_entry, fall_entry, bid, inc = step
+                _, fn, rs1, target, taken_row, fall_row = step
                 if fn(registers[rs1] if rs1 is not None else 0):
-                    entry = taken_entry
+                    row = taken_row
                     next_pc = target
                 else:
-                    entry = fall_entry
+                    row = fall_row
                     next_pc = pc + INSTRUCTION_BYTES
             elif kind == _K_STORE:
-                _, size, rs1, rs2, imm, entry_pc, next_pc, index, bid, inc = step
+                _, size, rs1, rs2, imm, entry_pc, next_pc, index = step
                 address = ((registers[rs1] if rs1 is not None else 0) + imm) & mask
                 mem_store(address, registers[rs2] if rs2 is not None else 0, size)
-                entry = TraceEntry(entry_pc, index, 1, next_pc, False, None,
-                                   False, True, address, None)
+                row = (entry_pc, index, 1, next_pc, _ROW_STORE, address, -1)
             elif kind == _K_HANDLE:
-                _, insn, bid, inc = step
-                entry, next_pc, count = self._execute_handle(
+                _, insn = step
+                row, next_pc, count = self._execute_handle(
                     insn, pc, index, registers, memory)
                 executed += count
-                committed += 1
-                counts[bid] = counts_get(bid, 0) + inc
-                if entries is not None:
-                    entries.append(entry)
+                rows_append(row)
                 pc = next_pc
                 continue
             elif kind == _K_CMOVNE or kind == _K_CMOVEQ:
-                _, rd, rs1, rs2, entry, bid, inc = step
+                _, rd, rs1, rs2, row = step
                 a = registers[rs1] if rs1 is not None else 0
                 moved = (a != 0) if kind == _K_CMOVNE else (a == 0)
                 if moved:
@@ -431,45 +468,48 @@ class FunctionalSimulator:
                     registers[rd] = result & mask
                 next_pc = pc + INSTRUCTION_BYTES
             elif kind == _K_FP:
-                _, fn, rd, rs1, rs2, entry, bid, inc = step
+                _, fn, rd, rs1, rs2, row = step
                 result = fn(registers[rs1] if rs1 is not None else 0,
                             registers[rs2] if rs2 is not None else 0)
                 if rd is not None:
                     registers[rd] = result & mask
                 next_pc = pc + INSTRUCTION_BYTES
             elif kind == _K_JUMP:
-                _, next_pc, entry, bid, inc = step
+                _, next_pc, row = step
             elif kind == _K_CALL:
-                _, rd, next_pc, entry, bid, inc = step
+                _, rd, next_pc, row = step
                 if rd is not None:
                     registers[rd] = (pc + INSTRUCTION_BYTES) & mask
             elif kind == _K_INDIRECT:
-                _, rs1, entry_pc, index, bid, inc = step
+                _, rs1, entry_pc, index = step
                 next_pc = registers[rs1] if rs1 is not None else 0
-                entry = TraceEntry(entry_pc, index, 1, next_pc, True, True,
-                                   False, False, None, None)
+                row = (entry_pc, index, 1, next_pc, _ROW_TAKEN, 0, -1)
             elif kind == _K_HALT:
-                _, entry, bid, inc = step
+                _, row = step
                 executed += 1
-                committed += 1
-                counts[bid] = counts_get(bid, 0) + inc
-                if entries is not None:
-                    entries.append(entry)
+                rows_append(row)
                 halted = True
                 break
             else:  # pragma: no cover - plans contain no other kinds
                 raise SimulationError(f"corrupt execution plan at {pc:#x}")
 
             executed += 1
-            committed += 1
-            counts[bid] = counts_get(bid, 0) + inc
-            if entries is not None:
-                entries.append(entry)
+            rows_append(row)
             pc = next_pc
 
-        # Every committed entry contributes its original-instruction count to
-        # both tallies, so the profile total is exactly `executed`.
-        profile.dynamic_instructions = executed
+        # One C-level transpose turns the committed rows into the packed
+        # columns; the block profile falls out of the index column.
+        trace: Optional[Trace] = None
+        if collect_trace:
+            columns = tuple(zip(*rows)) if rows else ((),) * 7
+            index_column: Sequence[int] = columns[1]
+            trace = Trace.from_columns(*columns)
+            committed = len(rows)
+        else:
+            index_column = indices
+            committed = len(indices)
+        profile = self._profile_from_index_column(index_column, executed,
+                                                  input_name)
         return FunctionalResult(
             program_name=program.name,
             instructions_executed=executed,
@@ -478,8 +518,32 @@ class FunctionalSimulator:
             registers=registers,
             memory=memory,
             profile=profile,
-            trace=Trace(entries) if entries is not None else None,
+            trace=trace,
         )
+
+    def _profile_from_index_column(self, index_column: Sequence[int],
+                                   executed: int,
+                                   input_name: str) -> BlockProfile:
+        """Build the block profile from the committed index column.
+
+        One Counter pass over the indices (C speed) replaces the two dict
+        operations the interpreter loop used to perform per committed
+        instruction; the per-unique-index accumulation below reproduces the
+        old first-touch insertion order and counts exactly.
+        """
+        profile = BlockProfile(program_name=self._program.name,
+                               input_name=input_name)
+        counts = profile.counts
+        counts_get = counts.get
+        bids = self._plan.bids
+        incs = self._plan.incs
+        for index, times in Counter(index_column).items():
+            bid = bids[index]
+            counts[bid] = counts_get(bid, 0) + incs[index] * times
+        # Every committed entry contributes its original-instruction count to
+        # both tallies, so the profile total is exactly `executed`.
+        profile.dynamic_instructions = executed
+        return profile
 
     # -- helpers ---------------------------------------------------------------
 
@@ -502,7 +566,8 @@ class FunctionalSimulator:
 
     def _execute_handle(self, handle: Instruction, pc: int, index: int,
                         registers: List[int], memory: Memory
-                        ) -> Tuple[TraceEntry, int, int]:
+                        ) -> Tuple[Tuple[int, int, int, int, int, int, int],
+                                   int, int]:
         if self._mgt is None:
             raise SimulationError(
                 f"{self._program.name}: handle at {pc:#x} but no MGT was supplied")
@@ -560,13 +625,12 @@ class FunctionalSimulator:
         if template.out_index is not None:
             self._write(registers, handle.rd, output_value or 0)
 
-        trace_entry = TraceEntry(
-            pc=pc, index=index, size=template.size, next_pc=next_pc,
-            is_control=template.has_branch, taken=taken,
-            is_load=is_load, is_store=is_store,
-            effective_address=effective_address, mgid=handle.mgid,
-        )
-        return trace_entry, next_pc, template.size
+        flags = pack_flags(template.has_branch, taken, is_load, is_store,
+                           effective_address is not None, True)
+        row = (pc, index, template.size, next_pc, flags,
+               effective_address if effective_address is not None else 0,
+               handle.mgid)
+        return row, next_pc, template.size
 
 
 def run_program(program: Program, *, mgt: Optional[MiniGraphTable] = None,
@@ -576,3 +640,17 @@ def run_program(program: Program, *, mgt: Optional[MiniGraphTable] = None,
     simulator = FunctionalSimulator(program, mgt=mgt)
     return simulator.run(max_instructions=max_instructions,
                          collect_trace=collect_trace, input_name=input_name)
+
+
+def profile_from_trace(program: Program, trace: Trace, *,
+                       input_name: str = "reference") -> BlockProfile:
+    """Reconstruct the basic-block profile of a run from its stored trace.
+
+    One Counter pass over the trace's packed index column against the
+    program's compiled plan tables — the same computation the simulator
+    performs at the end of a run, usable on a trace loaded from an artifact
+    store without re-executing the program.
+    """
+    simulator = FunctionalSimulator(program)
+    return simulator._profile_from_index_column(
+        trace.columns().index, trace.original_instruction_count(), input_name)

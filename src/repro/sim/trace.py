@@ -1,17 +1,72 @@
 """Dynamic trace records produced by the functional simulator.
 
 The timing model (:mod:`repro.uarch`) is *functional-first*: the functional
-simulator executes the program and emits one :class:`TraceEntry` per
-committed instruction (or handle), carrying everything the timing model
-needs that is data dependent — control outcome, next PC and effective
-address.  The timing model re-derives everything else (operands, opcode
-class, latency) from the static program and the MGT.
+simulator executes the program and emits one committed-order record per
+instruction (or handle), carrying everything the timing model needs that is
+data dependent — control outcome, next PC and effective address.  The timing
+model re-derives everything else (operands, opcode class, latency) from the
+static program and the MGT.
+
+Storage is *columnar*: a :class:`Trace` holds seven fixed-width stdlib
+:class:`array.array` columns (pc, index, size, next_pc, flags bitfield,
+effective_address, mgid) instead of one object per committed instruction.  A
+200k-instruction run therefore allocates a handful of buffers rather than
+200k records, batch consumers (the timing pipeline's fetch stage, the decode
+trace feed, profile construction) read the columns directly at C speed, and
+the whole trace serializes as raw column bytes (:func:`encode_trace`) without
+pickling an object graph.  :class:`TraceEntry` remains the one-record view:
+``trace[i]`` / ``iter(trace)`` materialize entries on demand, so existing
+object-at-a-time callers keep working unchanged.
+
+Optional fields are packed with explicit presence bits in the flags column
+(:data:`TF_TAKEN_KNOWN`, :data:`TF_HAS_EA`, :data:`TF_HAS_MGID`), so ``taken
+= None`` / ``effective_address = None`` / ``mgid = None`` survive the packed
+representation exactly.
 """
 
 from __future__ import annotations
 
+import struct
+import sys
+import zlib
+from array import array
+from collections import Counter
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Flags bitfield (one byte per entry in the flags column).
+# ---------------------------------------------------------------------------
+
+TF_CONTROL = 0x01      #: entry ends with a control transfer
+TF_TAKEN_KNOWN = 0x02  #: ``taken`` is a real outcome (False for halt: None)
+TF_TAKEN = 0x04        #: control outcome was taken (only with TF_TAKEN_KNOWN)
+TF_LOAD = 0x08         #: entry contains a load
+TF_STORE = 0x10        #: entry contains a store
+TF_HAS_EA = 0x20       #: effective_address column holds a real address
+TF_HAS_MGID = 0x40     #: mgid column holds a real MGID (entry is a handle)
+
+TF_MEMORY = TF_LOAD | TF_STORE
+_TF_TAKEN_BOTH = TF_TAKEN_KNOWN | TF_TAKEN
+
+
+def pack_flags(is_control: bool, taken: Optional[bool], is_load: bool,
+               is_store: bool, has_ea: bool, has_mgid: bool) -> int:
+    """Fold the per-entry booleans/presence bits into one flags byte."""
+    flags = 0
+    if is_control:
+        flags |= TF_CONTROL
+    if taken is not None:
+        flags |= (_TF_TAKEN_BOTH if taken else TF_TAKEN_KNOWN)
+    if is_load:
+        flags |= TF_LOAD
+    if is_store:
+        flags |= TF_STORE
+    if has_ea:
+        flags |= TF_HAS_EA
+    if has_mgid:
+        flags |= TF_HAS_MGID
+    return flags
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,59 +101,360 @@ class TraceEntry:
     def is_handle(self) -> bool:
         return self.mgid is not None
 
+    def packed_row(self) -> Tuple[int, int, int, int, int, int, int]:
+        """This entry as one row of column values (see :meth:`Trace.append`)."""
+        return (
+            self.pc, self.index, self.size, self.next_pc,
+            pack_flags(self.is_control, self.taken, self.is_load,
+                       self.is_store, self.effective_address is not None,
+                       self.mgid is not None),
+            self.effective_address if self.effective_address is not None else 0,
+            self.mgid if self.mgid is not None else -1,
+        )
+
+
+def entry_from_row(pc: int, index: int, size: int, next_pc: int, flags: int,
+                   effective_address: int, mgid: int) -> TraceEntry:
+    """Materialize a :class:`TraceEntry` from one row of column values."""
+    return TraceEntry(
+        pc=pc, index=index, size=size, next_pc=next_pc,
+        is_control=bool(flags & TF_CONTROL),
+        taken=bool(flags & TF_TAKEN) if flags & TF_TAKEN_KNOWN else None,
+        is_load=bool(flags & TF_LOAD),
+        is_store=bool(flags & TF_STORE),
+        effective_address=effective_address if flags & TF_HAS_EA else None,
+        mgid=mgid if flags & TF_HAS_MGID else None,
+    )
+
+
+class TraceColumns(NamedTuple):
+    """Zero-copy view of a trace's seven columns (batch consumers)."""
+
+    pc: array               # 'Q' — program counters
+    index: array            # 'I' — static layout indices
+    size: array             # 'H' — original instructions per entry
+    next_pc: array          # 'Q' — committed successor PCs
+    flags: array            # 'B' — TF_* bitfield
+    effective_address: array  # 'Q' — 0 unless TF_HAS_EA
+    mgid: array             # 'i' — -1 unless TF_HAS_MGID
+
+
+#: (column name, array typecode, item size) in codec payload order — the
+#: single source of truth for the storage layout: encode/decode, the slot
+#: attributes and :class:`TraceColumns` all follow this tuple.  It must match
+#: the :class:`TraceColumns` field order.
+_COLUMN_LAYOUT: Tuple[Tuple[str, str, int], ...] = (
+    ("pc", "Q", 8), ("index", "I", 4), ("size", "H", 2), ("next_pc", "Q", 8),
+    ("flags", "B", 1), ("effective_address", "Q", 8), ("mgid", "i", 4),
+)
+
+assert tuple(name for name, _, _ in _COLUMN_LAYOUT) == TraceColumns._fields
+
+#: Raw column bytes per entry (the uncompressed codec payload width).
+TRACE_ROW_BYTES = sum(item_size for _, _, item_size in _COLUMN_LAYOUT)
+
+
+class _Summary(NamedTuple):
+    """One-pass aggregate statistics over the columns (cached per trace)."""
+
+    original_instructions: int
+    handles: int
+    absorbed: int
+    loads: int
+    stores: int
+    controls: int
+    taken: int
+
 
 class Trace:
-    """A committed-order dynamic trace with summary statistics."""
+    """A committed-order dynamic trace with summary statistics.
+
+    The packed columns are the storage; entries are materialized lazily by
+    ``__getitem__`` / ``__iter__``.  Summary statistics are computed once
+    from the columns and cached; :meth:`append` invalidates the cache.
+    """
+
+    __slots__ = ("_pc", "_index", "_size", "_next_pc", "_flags",
+                 "_effective_address", "_mgid", "_summary", "__weakref__")
 
     def __init__(self, entries: Optional[List[TraceEntry]] = None) -> None:
-        self._entries: List[TraceEntry] = entries if entries is not None else []
+        self._pc = array("Q")
+        self._index = array("I")
+        self._size = array("H")
+        self._next_pc = array("Q")
+        self._flags = array("B")
+        self._effective_address = array("Q")
+        self._mgid = array("i")
+        self._summary: Optional[_Summary] = None
+        if entries:
+            for entry in entries:
+                self.append(entry)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, pc, index, size, next_pc, flags, effective_address,
+                     mgid) -> "Trace":
+        """Build a trace directly from column value sequences (one pass).
+
+        This is the functional simulator's bulk path: each argument is any
+        iterable of ints (the ``array`` constructor consumes it at C speed).
+        """
+        trace = cls.__new__(cls)
+        trace._pc = array("Q", pc)
+        trace._index = array("I", index)
+        trace._size = array("H", size)
+        trace._next_pc = array("Q", next_pc)
+        trace._flags = array("B", flags)
+        trace._effective_address = array("Q", effective_address)
+        trace._mgid = array("i", mgid)
+        trace._summary = None
+        lengths = {len(column) for column in trace.columns()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged trace columns: lengths {sorted(lengths)}")
+        return trace
+
+    @classmethod
+    def from_packed_rows(cls, rows: Sequence[Tuple[int, ...]]) -> "Trace":
+        """Build a trace from packed ``(pc, index, size, next_pc, flags, ea,
+        mgid)`` row tuples (see :meth:`TraceEntry.packed_row`)."""
+        if not rows:
+            return cls()
+        return cls.from_columns(*zip(*rows))
 
     def append(self, entry: TraceEntry) -> None:
-        self._entries.append(entry)
+        """Append one entry (packs it into the columns; invalidates stats)."""
+        (pc, index, size, next_pc, flags, effective_address,
+         mgid) = entry.packed_row()
+        self._pc.append(pc)
+        self._index.append(index)
+        self._size.append(size)
+        self._next_pc.append(next_pc)
+        self._flags.append(flags)
+        self._effective_address.append(effective_address)
+        self._mgid.append(mgid)
+        self._summary = None
+
+    # -- sequence protocol -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._index)
 
     def __iter__(self) -> Iterator[TraceEntry]:
-        return iter(self._entries)
+        return map(entry_from_row, self._pc, self._index, self._size,
+                   self._next_pc, self._flags, self._effective_address,
+                   self._mgid)
 
-    def __getitem__(self, index: int) -> TraceEntry:
-        return self._entries[index]
+    def __getitem__(self, position: Union[int, slice]
+                    ) -> Union[TraceEntry, List[TraceEntry]]:
+        if isinstance(position, slice):
+            return [entry_from_row(*row) for row in
+                    zip(self._pc[position], self._index[position],
+                        self._size[position], self._next_pc[position],
+                        self._flags[position],
+                        self._effective_address[position],
+                        self._mgid[position])]
+        return entry_from_row(
+            self._pc[position], self._index[position], self._size[position],
+            self._next_pc[position], self._flags[position],
+            self._effective_address[position], self._mgid[position])
 
     @property
-    def entries(self) -> Sequence[TraceEntry]:
-        return self._entries
+    def entries(self) -> "Trace":
+        """Lazy entry view (the trace itself is the sequence of entries)."""
+        return self
+
+    def columns(self) -> TraceColumns:
+        """The seven packed columns (zero-copy; do not mutate)."""
+        return TraceColumns(self._pc, self._index, self._size, self._next_pc,
+                            self._flags, self._effective_address, self._mgid)
 
     # -- statistics ------------------------------------------------------------
 
+    def _summarize(self) -> _Summary:
+        summary = self._summary
+        if summary is None:
+            # One Counter pass over the one-byte flags column (C speed) plus
+            # a C-level sum of the size column covers every statistic; the
+            # per-entry Python loop for absorbed instructions only runs when
+            # the trace actually contains handles.
+            flag_counts = Counter(self._flags)
+            handles = loads = stores = controls = taken = 0
+            for flags, times in flag_counts.items():
+                if flags & TF_HAS_MGID:
+                    handles += times
+                if flags & TF_LOAD:
+                    loads += times
+                if flags & TF_STORE:
+                    stores += times
+                if flags & TF_CONTROL:
+                    controls += times
+                if flags & TF_TAKEN:
+                    taken += times
+            original = sum(self._size)
+            if handles:
+                absorbed = sum(size - 1 for size, flags
+                               in zip(self._size, self._flags)
+                               if flags & TF_HAS_MGID)
+            else:
+                absorbed = 0
+            summary = _Summary(original, handles, absorbed, loads, stores,
+                               controls, taken)
+            self._summary = summary
+        return summary
+
     def original_instruction_count(self) -> int:
         """Number of original program instructions represented by the trace."""
-        return sum(entry.size for entry in self._entries)
+        return self._summarize().original_instructions
 
     def pipeline_slot_count(self) -> int:
         """Number of pipeline slots consumed (handles count once)."""
-        return len(self._entries)
+        return len(self._index)
 
     def handle_count(self) -> int:
         """Number of dynamic handle executions."""
-        return sum(1 for entry in self._entries if entry.is_handle)
+        return self._summarize().handles
 
     def dynamic_coverage(self) -> float:
         """Fraction of original instructions absorbed into handles."""
-        original = self.original_instruction_count()
-        if original == 0:
+        summary = self._summarize()
+        if summary.original_instructions == 0:
             return 0.0
-        absorbed = sum(entry.size - 1 for entry in self._entries if entry.is_handle)
-        return absorbed / original
+        return summary.absorbed / summary.original_instructions
 
     def load_count(self) -> int:
-        return sum(1 for entry in self._entries if entry.is_load)
+        return self._summarize().loads
 
     def store_count(self) -> int:
-        return sum(1 for entry in self._entries if entry.is_store)
+        return self._summarize().stores
 
     def control_count(self) -> int:
-        return sum(1 for entry in self._entries if entry.is_control)
+        return self._summarize().controls
 
     def taken_branch_count(self) -> int:
-        return sum(1 for entry in self._entries if entry.taken)
+        return self._summarize().taken
+
+    # -- serialization ---------------------------------------------------------
+
+    def __reduce__(self):
+        # Pickling (the artifact store's object-graph path, and every
+        # Session.map/sweep pool transfer) ships the packed columns as one
+        # flat binary blob instead of an object per entry.
+        return (decode_trace, (encode_trace(self),))
+
+
+# ---------------------------------------------------------------------------
+# Binary codec: header + raw column bytes.
+#
+# Layout (all header integers little-endian):
+#
+#   offset  size  field
+#   0       4     magic b"RTRC"
+#   4       2     codec version (TRACE_CODEC_VERSION)
+#   6       1     compression (0 = raw, 1 = zlib)
+#   7       1     reserved (0)
+#   8       8     entry count
+#   16      8     payload byte length (as stored, i.e. after compression)
+#   24      ...   payload: the seven columns' little-endian bytes,
+#                 concatenated in _COLUMN_LAYOUT order
+# ---------------------------------------------------------------------------
+
+TRACE_MAGIC = b"RTRC"
+TRACE_CODEC_VERSION = 1
+_HEADER = struct.Struct("<4sHBBQQ")
+
+_COMPRESS_NONE = 0
+_COMPRESS_ZLIB = 1
+
+#: zlib level 1: traces are dominated by loop repetition, so even the fastest
+#: level shrinks them far below one row per entry while staying IO-bound.
+_ZLIB_LEVEL = 1
+
+_NATIVE_IS_LITTLE = sys.byteorder == "little"
+
+
+class TraceCodecError(ValueError):
+    """Raised when a binary trace blob cannot be decoded."""
+
+
+class UnknownTraceCodecVersion(TraceCodecError):
+    """The blob is a trace artifact, but from an unknown codec version."""
+
+    def __init__(self, version: int) -> None:
+        super().__init__(f"unknown trace codec version {version} "
+                         f"(this build reads version {TRACE_CODEC_VERSION})")
+        self.version = version
+
+
+def _column_bytes(column: array) -> bytes:
+    if _NATIVE_IS_LITTLE:
+        return column.tobytes()
+    swapped = array(column.typecode, column)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def encode_trace(trace: Trace, *, compress: bool = True) -> bytes:
+    """Serialize ``trace`` as header + packed column bytes."""
+    payload = b"".join(_column_bytes(getattr(trace, "_" + name))
+                       for name, _, _ in _COLUMN_LAYOUT)
+    compression = _COMPRESS_NONE
+    if compress:
+        packed = zlib.compress(payload, _ZLIB_LEVEL)
+        if len(packed) < len(payload):
+            payload = packed
+            compression = _COMPRESS_ZLIB
+    header = _HEADER.pack(TRACE_MAGIC, TRACE_CODEC_VERSION, compression, 0,
+                          len(trace), len(payload))
+    return header + payload
+
+
+def is_trace_blob(data: bytes) -> bool:
+    """Does ``data`` start with the binary trace magic?"""
+    return data[:len(TRACE_MAGIC)] == TRACE_MAGIC
+
+
+def decode_trace(data: bytes) -> Trace:
+    """Deserialize a blob produced by :func:`encode_trace`.
+
+    Raises :class:`UnknownTraceCodecVersion` for artifacts written by a
+    different codec version and :class:`TraceCodecError` for anything
+    structurally invalid (callers treat both as cache misses).
+    """
+    if len(data) < _HEADER.size:
+        raise TraceCodecError(f"trace blob truncated: {len(data)} bytes")
+    magic, version, compression, _, count, payload_length = \
+        _HEADER.unpack_from(data)
+    if magic != TRACE_MAGIC:
+        raise TraceCodecError(f"bad trace magic {magic!r}")
+    if version != TRACE_CODEC_VERSION:
+        raise UnknownTraceCodecVersion(version)
+    payload = data[_HEADER.size:]
+    if len(payload) != payload_length:
+        raise TraceCodecError(
+            f"trace payload length mismatch: header says {payload_length}, "
+            f"got {len(payload)}")
+    if compression == _COMPRESS_ZLIB:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as error:
+            raise TraceCodecError(f"corrupt trace payload: {error}") from None
+    elif compression != _COMPRESS_NONE:
+        raise TraceCodecError(f"unknown trace compression {compression}")
+    if len(payload) != count * TRACE_ROW_BYTES:
+        raise TraceCodecError(
+            f"trace payload holds {len(payload)} bytes, expected "
+            f"{count * TRACE_ROW_BYTES} for {count} entries")
+
+    trace = Trace.__new__(Trace)
+    offset = 0
+    for name, typecode, item_size in _COLUMN_LAYOUT:
+        column = array(typecode)
+        end = offset + count * item_size
+        column.frombytes(payload[offset:end])
+        if not _NATIVE_IS_LITTLE:
+            column.byteswap()
+        setattr(trace, "_" + name, column)
+        offset = end
+    trace._summary = None
+    return trace

@@ -157,11 +157,19 @@ class DecodeTable:
 
         The feed is computed once per trace and shared by every simulator
         replaying it (e.g. one trace timed on many machine configurations).
+        It is built straight from the trace's packed index column: one decode
+        per *unique* static index, then a C-level gather over the column —
+        no per-entry materialization.
         """
         feed = self._feeds.get(trace)
         if feed is None:
+            index_column = trace.columns().index
+            ops = self._ops
             op_at = self.op_at
-            feed = [op_at(entry.index) for entry in trace.entries]
+            for index in set(index_column):
+                if ops[index] is None:
+                    op_at(index)
+            feed = list(map(ops.__getitem__, index_column))
             self._feeds[trace] = feed
         return feed
 

@@ -1,8 +1,8 @@
 """Dynamic instruction records used by the timing pipeline.
 
 A :class:`DynInst` is one in-flight entity: either a singleton instruction or
-a mini-graph handle.  It pairs the trace entry that produced it (control
-outcome, effective address) with the interned
+a mini-graph handle.  It pairs the dynamic facts of the trace row it was
+fetched from (control outcome, next PC, effective address) with the interned
 :class:`~repro.uarch.decode.DecodedOp` for its static instruction, and
 carries the renamed register identifiers, the per-stage timestamps and the
 wakeup bookkeeping the event-driven scheduler fills in as the entity flows
@@ -12,7 +12,11 @@ The class is ``__slots__``-backed: tens of thousands of instances are created
 per simulation and the per-instance dict plus property dispatch of the old
 dataclass were a measurable share of simulation time.  Static facts
 (operands, opcode class, latency, MGT header) live on the shared decode
-record; only genuinely per-instance state lives here.
+record; the trace row's dynamic facts are copied in as plain scalars (``pc``,
+``size``, ``next_pc``, the :mod:`repro.sim.trace` flags byte and the
+normalized effective address) straight from the columnar trace, so fetching
+never materializes a :class:`~repro.sim.trace.TraceEntry`; only genuinely
+per-instance state lives here.
 """
 
 from __future__ import annotations
@@ -21,7 +25,18 @@ from typing import Optional, Tuple
 
 from ..isa.instruction import Instruction
 from ..minigraph.mgt import MgtEntry
-from ..sim.trace import TraceEntry
+from ..sim.trace import (
+    TF_CONTROL,
+    TF_HAS_MGID,
+    TF_LOAD,
+    TF_MEMORY,
+    TF_STORE,
+    TF_TAKEN,
+    TF_TAKEN_KNOWN,
+    TraceEntry,
+    entry_from_row,
+    pack_flags,
+)
 from .decode import DecodedOp
 
 #: Sentinel cycle value meaning "has not happened yet".
@@ -36,8 +51,10 @@ class DynInst:
 
     Attributes:
         sequence: global dynamic sequence number (age ordering).
-        trace: the trace entry this entity was fetched from.
         decoded: interned static metadata (shared across dynamic instances).
+        pc / size / next_pc / flags / effective_address: the dynamic facts of
+            the trace row this entity was fetched from (``flags`` is the
+            :mod:`repro.sim.trace` ``TF_*`` bitfield).
         source_physical: physical registers of the (up to two) sources.
         destination_physical: allocated physical destination, or None.
         previous_physical: physical register previously mapped to the
@@ -49,7 +66,8 @@ class DynInst:
     """
 
     __slots__ = (
-        "sequence", "trace", "decoded",
+        "sequence", "decoded",
+        "pc", "size", "next_pc", "flags", "effective_address",
         "source_physical", "destination_physical", "previous_physical",
         "predicted_taken", "predicted_target", "mispredicted",
         "fetch_cycle", "rename_cycle", "issue_cycle", "complete_cycle",
@@ -58,10 +76,16 @@ class DynInst:
         "pending_sources", "wake_cycle",
     )
 
-    def __init__(self, sequence: int, trace: TraceEntry, decoded: DecodedOp) -> None:
+    def __init__(self, sequence: int, decoded: DecodedOp, pc: int, size: int,
+                 next_pc: int, flags: int,
+                 effective_address: Optional[int]) -> None:
         self.sequence = sequence
-        self.trace = trace
         self.decoded = decoded
+        self.pc = pc
+        self.size = size
+        self.next_pc = next_pc
+        self.flags = flags
+        self.effective_address = effective_address
         self.source_physical: Tuple[Optional[int], Optional[int]] = (None, None)
         self.destination_physical: Optional[int] = None
         self.previous_physical: Optional[int] = None
@@ -80,11 +104,28 @@ class DynInst:
         self.wake_cycle = NEVER
 
     @classmethod
+    def from_entry(cls, sequence: int, entry: TraceEntry,
+                   decoded: DecodedOp) -> "DynInst":
+        """Build an instance from a materialized :class:`TraceEntry`."""
+        return cls(sequence, decoded, entry.pc, entry.size, entry.next_pc,
+                   pack_flags(entry.is_control, entry.taken, entry.is_load,
+                              entry.is_store,
+                              entry.effective_address is not None,
+                              entry.mgid is not None),
+                   entry.effective_address)
+
+    @classmethod
     def from_static(cls, sequence: int, trace: TraceEntry, static: Instruction,
                     mgt_entry: Optional[MgtEntry] = None,
-                    index: int = 0) -> "DynInst":
-        """Build a standalone instance (tests, debugging) without a table."""
-        return cls(sequence, trace, DecodedOp(index, static, mgt_entry))
+                    index: Optional[int] = None) -> "DynInst":
+        """Build a standalone instance (tests, debugging) without a table.
+
+        ``index`` defaults to the trace entry's own layout index so that the
+        ``trace`` property round-trips the entry it was built from.
+        """
+        if index is None:
+            index = trace.index
+        return cls.from_entry(sequence, trace, DecodedOp(index, static, mgt_entry))
 
     # -- static views (delegate to the interned decode record) ---------------------
 
@@ -118,44 +159,47 @@ class DynInst:
         """Architectural source registers (handles expose the interface only)."""
         return self.decoded.static.source_registers()
 
-    # -- dynamic views (from the trace entry) --------------------------------------
+    # -- dynamic views (from the packed trace-row scalars) -------------------------
+
+    @property
+    def trace(self) -> TraceEntry:
+        """The trace entry this entity was fetched from (materialized lazily)."""
+        effective_address = self.effective_address
+        mgid = self.decoded.static.mgid if self.flags & TF_HAS_MGID else -1
+        return entry_from_row(
+            self.pc, self.decoded.index, self.size, self.next_pc, self.flags,
+            effective_address if effective_address is not None else 0, mgid)
 
     @property
     def is_load(self) -> bool:
-        return self.trace.is_load
+        return bool(self.flags & TF_LOAD)
 
     @property
     def is_store(self) -> bool:
-        return self.trace.is_store
+        return bool(self.flags & TF_STORE)
 
     @property
     def is_memory(self) -> bool:
-        return self.trace.is_load or self.trace.is_store
+        return bool(self.flags & TF_MEMORY)
 
     @property
     def is_control(self) -> bool:
-        return self.trace.is_control
+        return bool(self.flags & TF_CONTROL)
 
     @property
     def original_instructions(self) -> int:
         """Original program instructions represented (handles expand)."""
-        return self.trace.size
-
-    @property
-    def pc(self) -> int:
-        return self.trace.pc
-
-    @property
-    def effective_address(self) -> Optional[int]:
-        return self.trace.effective_address
+        return self.size
 
     @property
     def actual_taken(self) -> Optional[bool]:
-        return self.trace.taken
+        if self.flags & TF_TAKEN_KNOWN:
+            return bool(self.flags & TF_TAKEN)
+        return None
 
     @property
     def actual_target(self) -> int:
-        return self.trace.next_pc
+        return self.next_pc
 
     # -- status --------------------------------------------------------------------
 

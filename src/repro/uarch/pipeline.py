@@ -48,7 +48,14 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..minigraph.mgt import MiniGraphTable
 from ..program.program import Program
-from ..sim.trace import Trace
+from ..sim.trace import (
+    TF_CONTROL,
+    TF_HAS_EA,
+    TF_MEMORY,
+    TF_STORE,
+    TF_TAKEN,
+    Trace,
+)
 from .bpred import FrontEndPredictor
 from .caches import MemoryHierarchy
 from .config import MachineConfig
@@ -156,7 +163,15 @@ class TimingSimulator:
             self._feed = self._decode.trace_feed(trace)
         except DecodeError as error:
             raise TimingError(str(error)) from None
-        self._entries = list(trace.entries)
+        # The packed trace columns, read directly by the fetch stage — no
+        # per-entry record is ever materialized on the replay path.
+        columns = trace.columns()
+        self._pc_col = columns.pc
+        self._index_col = columns.index
+        self._size_col = columns.size
+        self._next_pc_col = columns.next_pc
+        self._flags_col = columns.flags
+        self._ea_col = columns.effective_address
 
         # Renaming state: architectural register -> physical register.
         self._rename_map: Dict[int, int] = {reg: reg for reg in range(config.architected_registers)}
@@ -208,7 +223,7 @@ class TimingSimulator:
 
     def run(self, *, max_cycles: int = 5_000_000) -> PipelineStats:
         """Simulate until the whole trace has retired; returns the statistics."""
-        total_entries = len(self._entries)
+        total_entries = len(self._flags_col)
         retired_entries = 0
         cycle = 0
         begin_cycle = self._funits.begin_cycle
@@ -293,12 +308,11 @@ class TimingSimulator:
             head.retire_cycle = cycle
             if head.previous_physical is not None:
                 free_list.append(head.previous_physical)
-            entry = head.trace
-            if (entry.is_load or entry.is_store) and lsq \
+            if (head.flags & TF_MEMORY) and lsq \
                     and lsq[0].sequence == head.sequence:
                 lsq.popleft()
                 del self._lsq_by_seq[head.sequence]
-            stats.committed_instructions += entry.size
+            stats.committed_instructions += head.size
             stats.committed_slots += 1
             if head.decoded.mgt_entry is not None:
                 stats.committed_handles += 1
@@ -311,27 +325,28 @@ class TimingSimulator:
 
     def _complete(self, cycle: int, finishing: List[DynInst]) -> None:
         for inst in finishing:
-            entry = inst.trace
+            flags = inst.flags
             # Control resolution: train the predictor and release a blocked
             # front end (redirect penalty charged from the resolution cycle).
-            if entry.is_control:
+            if flags & TF_CONTROL:
+                taken = bool(flags & TF_TAKEN)
                 self._predictor.update(
-                    entry.pc,
+                    inst.pc,
                     is_conditional=inst.decoded.is_conditional_branch,
-                    taken=bool(entry.taken),
-                    target=entry.next_pc if entry.taken else None,
+                    taken=taken,
+                    target=inst.next_pc if taken else None,
                     predicted_taken=bool(inst.predicted_taken))
                 if self._fetch_blocked_on == inst.sequence:
                     self._fetch_blocked_on = None
                     self._fetch_stalled_until = max(
                         self._fetch_stalled_until,
                         cycle + self._config.misprediction_redirect_penalty)
-            if entry.is_load or entry.is_store:
+            if flags & TF_MEMORY:
                 lsq_entry = self._lsq_by_seq.get(inst.sequence)
                 if lsq_entry is not None:
                     lsq_entry.completed = True
-                if entry.is_store:
-                    self._store_sets.store_completed(entry.pc, inst.sequence)
+                if flags & TF_STORE:
+                    self._store_sets.store_completed(inst.pc, inst.sequence)
 
     # ----------------------------------------------------------------- issue --
 
@@ -351,8 +366,7 @@ class TimingSimulator:
         # sliding-window slot) is deferred and retried next cycle.
         while heap and issued < width:
             inst = heappop(heap)[1]
-            entry = inst.trace
-            if (entry.is_load or entry.is_store) \
+            if (inst.flags & TF_MEMORY) \
                     and not self._memory_dependence_allows_issue(inst):
                 deferred.append(inst)
                 continue
@@ -373,9 +387,9 @@ class TimingSimulator:
 
     def _memory_dependence_allows_issue(self, inst: DynInst) -> bool:
         """Store-sets scheduling plus in-order store address availability."""
-        if inst.trace.is_store:
+        if inst.flags & TF_STORE:
             return True
-        predicted = self._store_sets.predicted_store_for(inst.trace.pc)
+        predicted = self._store_sets.predicted_store_for(inst.pc)
         if predicted is None:
             return True
         # The LFST is updated at dispatch but consulted at issue, so it can
@@ -453,7 +467,7 @@ class TimingSimulator:
                             wake.append(consumer)
 
     def _issue_load(self, inst: DynInst, cycle: int) -> None:
-        address = inst.trace.effective_address or 0
+        address = inst.effective_address or 0
         latency = self._memory.data_latency(address)
         self.stats.loads_executed += 1
         self._check_ordering_violation(inst, cycle)
@@ -462,7 +476,7 @@ class TimingSimulator:
 
     def _issue_store(self, inst: DynInst, cycle: int) -> None:
         self.stats.stores_executed += 1
-        self._mark_lsq_issued(inst.sequence, inst.trace.effective_address)
+        self._mark_lsq_issued(inst.sequence, inst.effective_address)
         # Stores write the data cache at retirement; for scheduling purposes
         # the store executes (computes its address, forwards data) in one cycle.
         self._finish_issue(inst, cycle, latency=1)
@@ -475,7 +489,7 @@ class TimingSimulator:
 
     def _check_ordering_violation(self, inst: DynInst, cycle: int) -> None:
         """Detect a load issuing before an older conflicting store has executed."""
-        address = inst.trace.effective_address
+        address = inst.effective_address
         if address is None:
             return
         sequence = inst.sequence
@@ -491,7 +505,7 @@ class TimingSimulator:
             if entry.address == address:
                 self.stats.ordering_violations += 1
                 inst.caused_ordering_violation = True
-                self._store_sets.train_violation(inst.trace.pc, entry.pc)
+                self._store_sets.train_violation(inst.pc, entry.pc)
                 self._fetch_stalled_until = max(
                     self._fetch_stalled_until,
                     cycle + self._config.ordering_violation_penalty)
@@ -517,7 +531,7 @@ class TimingSimulator:
         output_latency = decoded.header_lat
         extra_memory = 0
         if decoded.has_load:
-            address = inst.trace.effective_address or 0
+            address = inst.effective_address or 0
             latency = self._memory.data_latency(address)
             self.stats.loads_executed += 1
             self._check_ordering_violation(inst, cycle)
@@ -534,7 +548,7 @@ class TimingSimulator:
                 output_latency += extra_memory if decoded.out_is_last else 0
         elif decoded.has_store:
             self.stats.stores_executed += 1
-            self._mark_lsq_issued(inst.sequence, inst.trace.effective_address)
+            self._mark_lsq_issued(inst.sequence, inst.effective_address)
 
         total_latency = execution_cycles + extra_memory
         self._finish_issue(inst, cycle, latency=total_latency,
@@ -569,8 +583,7 @@ class TimingSimulator:
             if self._issue_queue_occupancy(cycle) >= iq_size:
                 stats.stall_iq_full += 1
                 break
-            entry = inst.trace
-            if (entry.is_load or entry.is_store) and len(lsq) >= lsq_size:
+            if (inst.flags & TF_MEMORY) and len(lsq) >= lsq_size:
                 stats.stall_lsq_full += 1
                 break
             if inst.decoded.needs_destination and not free_list:
@@ -635,15 +648,16 @@ class TimingSimulator:
         self._iq_count += 1
 
         self._rob.append(inst)
-        entry = inst.trace
-        if entry.is_load or entry.is_store:
+        flags = inst.flags
+        if flags & TF_MEMORY:
+            is_store = bool(flags & TF_STORE)
             lsq_entry = _LsqEntry(
-                sequence=inst.sequence, is_store=entry.is_store, pc=entry.pc,
-                address=entry.effective_address if entry.is_store else None)
+                sequence=inst.sequence, is_store=is_store, pc=inst.pc,
+                address=inst.effective_address if is_store else None)
             self._lsq.append(lsq_entry)
             self._lsq_by_seq[inst.sequence] = lsq_entry
-            if entry.is_store:
-                self._store_sets.store_dispatched(entry.pc, inst.sequence)
+            if is_store:
+                self._store_sets.store_dispatched(inst.pc, inst.sequence)
 
     # ----------------------------------------------------------------- fetch --
 
@@ -651,9 +665,9 @@ class TimingSimulator:
         if self._fetch_blocked_on is not None or cycle < self._fetch_stalled_until:
             self.stats.fetch_stall_cycles += 1
             return
-        entries = self._entries
+        flags_col = self._flags_col
         index = self._fetch_index
-        total = len(entries)
+        total = len(flags_col)
         if index >= total:
             return
         front_end = self._front_end
@@ -669,10 +683,19 @@ class TimingSimulator:
         stats = self.stats
         icache_hit = self._icache_hit_latency
         width = self._fetch_width
+        compressed = layout.compressed
+        pc_col = self._pc_col
+        index_col = self._index_col
+        size_col = self._size_col
+        next_pc_col = self._next_pc_col
+        ea_col = self._ea_col
+        # Each slot is read straight out of the packed columns; no trace
+        # record is materialized.
         while fetched < width and index < total:
-            entry = entries[index]
-            address = layout.address_for_index(entry.index) if layout.compressed \
-                else entry.pc
+            flags = flags_col[index]
+            pc = pc_col[index]
+            address = layout.address_for_index(index_col[index]) if compressed \
+                else pc
             line = memory.line_address(address, instruction=True)
             if line != current_line:
                 latency = memory.instruction_latency(address)
@@ -686,7 +709,10 @@ class TimingSimulator:
                     break
                 current_line = line
             decoded = feed[index]
-            inst = DynInst(self._next_sequence, entry, decoded)
+            next_pc = next_pc_col[index]
+            inst = DynInst(self._next_sequence, decoded, pc, size_col[index],
+                           next_pc, flags,
+                           ea_col[index] if flags & TF_HAS_EA else None)
             inst.fetch_cycle = cycle
             self._next_sequence += 1
             front_end.append(inst)
@@ -694,14 +720,14 @@ class TimingSimulator:
             fetched += 1
             stats.fetched_slots += 1
 
-            if entry.is_control:
+            if flags & TF_CONTROL:
                 stats.branch_lookups += 1
                 prediction = self._predictor.predict(
-                    entry.pc, is_conditional=decoded.is_conditional_branch)
+                    pc, is_conditional=decoded.is_conditional_branch)
                 inst.predicted_taken = prediction.taken
                 inst.predicted_target = prediction.target
-                actual_taken = bool(entry.taken)
-                target_correct = (not actual_taken) or (prediction.target == entry.next_pc)
+                actual_taken = bool(flags & TF_TAKEN)
+                target_correct = (not actual_taken) or (prediction.target == next_pc)
                 if prediction.taken != actual_taken or not target_correct:
                     inst.mispredicted = True
                     self._fetch_blocked_on = inst.sequence

@@ -349,6 +349,77 @@ def _crc(input_name: str) -> str:
 
 
 # ---------------------------------------------------------------------------
+# listchase / fnvmix: long-horizon trace-volume stressors.
+#
+# Both kernels run an order of magnitude more iterations than the rest of the
+# suite, so a full run commits tens of thousands of trace entries — they
+# exist to exercise the columnar trace pipeline (packed trace storage, batch
+# feeds, binary trace artifacts) at realistic volume.  listchase is
+# latency-bound pointer chasing (health/patricia-style linked structures);
+# fnvmix is a serial FNV-style multiply-xor recurrence, prime mini-graph
+# material with one load per round.
+# ---------------------------------------------------------------------------
+
+
+def _chase_list(seed: int, nodes: int, base: int) -> List[int]:
+    """Build a circular linked list as [value, next-address] node pairs.
+
+    The visit order is a pseudo-random permutation, so the loop-carried
+    ``next`` loads have poor spatial locality.
+    """
+    generator = LinearCongruentialGenerator(seed)
+    order = list(range(nodes))
+    for position in range(nodes - 1, 0, -1):
+        other = generator.below(position + 1)
+        order[position], order[other] = order[other], order[position]
+    words = [0] * (nodes * 2)
+    for rank, node in enumerate(order):
+        successor = order[(rank + 1) % nodes]
+        words[node * 2] = generator.below(1 << 16)
+        words[node * 2 + 1] = base + successor * 16
+    return words
+
+
+def _listchase(input_name: str) -> str:
+    nodes = _size(input_name, 1024, 256)
+    steps = _size(input_name, 4800, 640)
+    # chase_nodes is the first (only) data directive, so it lands at the
+    # assembler's data base and the precomputed next-pointers are absolute.
+    data = [data_directive("chase_nodes", _chase_list(227, nodes, 0x100000))]
+    setup = [
+        "  la r16,chase_nodes",
+        f"  ldi r18,{steps}",
+    ]
+    body = frag.pointer_chase_loop("chase", head="r16", steps="r18",
+                                   accumulator="r11")
+    return frag.kernel("listchase", data, setup, body)
+
+
+def _fnvmix(input_name: str) -> str:
+    words = _size(input_name, 512, 128)
+    rounds = _size(input_name, 3840, 512)
+    data = [data_directive("fnv_words", _values(229, words, 1 << 32))]
+    setup = [
+        "  la r16,fnv_words",
+        f"  ldi r18,{rounds}",
+        "  ldi r13,16777619",          # FNV-1a style prime
+        "  ldi r11,2166136261",        # offset basis
+    ]
+    body = [
+        "  clr r10",
+        "fnv_loop:",
+        f"  andi r10,{words - 1},r2",  # wrap the round counter into the table
+        "  s8addl r2,r16,r8",
+        "  ldq r3,0(r8)",
+        "  xor r11,r3,r11",            # acc ^= word
+        "  mulq r11,r13,r11",          # acc *= prime
+    ] + frag.hash_mix_body("r11", "r12", temp1="r4", temp2="r5") + [
+        "  xor r11,r12,r11",           # fold the mixed bits back in
+    ] + frag.loop_footer("fnv", "r10", "r18")
+    return frag.kernel("fnvmix", data, setup, body)
+
+
+# ---------------------------------------------------------------------------
 # rsynth / adpcm: interpolation tables and speech coding (MiBench variants).
 # ---------------------------------------------------------------------------
 
@@ -441,3 +512,11 @@ def register() -> None:
     register_benchmark("adpcm.embedded", "embedded", _adpcm_embedded,
                        description="ADPCM encoder variant over MiBench-sized inputs "
                                    "(MiBench adpcm)")
+    register_benchmark("listchase", "embedded", _listchase,
+                       description="Long-horizon pointer-chasing list traversal "
+                                   "(trace-volume stressor, health/patricia-like)",
+                       default_budget=60_000)
+    register_benchmark("fnvmix", "embedded", _fnvmix,
+                       description="Long-horizon FNV-style multiply-xor hash/mix "
+                                   "recurrence (trace-volume stressor)",
+                       default_budget=60_000)

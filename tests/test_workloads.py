@@ -71,6 +71,30 @@ def test_every_kernel_assembles_runs_and_terminates(name):
     assert result.instructions_executed > 1_000, name
 
 
+@pytest.mark.parametrize("name", ["listchase", "fnvmix"])
+def test_long_horizon_kernels_stress_trace_volume(name):
+    """The trace-volume stressors commit an order of magnitude more entries
+    than the rest of the embedded suite (they exist to exercise the columnar
+    trace pipeline at volume) while still halting within their budget."""
+    result = run_program(load_benchmark(name), max_instructions=60_000)
+    assert result.halted, name
+    assert result.entries_committed > 40_000, name
+    assert len(result.trace) == result.entries_committed
+
+
+@pytest.mark.parametrize("name", ["listchase", "fnvmix"])
+def test_long_horizon_kernels_have_character(name):
+    """listchase must be load-latency bound, fnvmix a serial ALU recurrence."""
+    result = run_program(load_benchmark(name), max_instructions=60_000)
+    loads = result.trace.load_count()
+    slots = result.trace.pipeline_slot_count()
+    if name == "listchase":
+        assert loads / slots > 0.2, "pointer chase should be load dense"
+    else:
+        assert result.trace.store_count() == 0, "fnvmix is a pure reduction"
+        assert loads / slots < 0.15, "fnvmix should be ALU-chain dominated"
+
+
 @pytest.mark.parametrize("suite", SUITE_NAMES)
 def test_suite_structure_matches_its_character(suite):
     """SPEC-like kernels must be branchier / smaller-blocked than media kernels."""
