@@ -55,7 +55,7 @@ from .uarch import (
 )
 from .workloads import load_benchmark
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .api import ArtifactStore, RunArtifacts, RunSpec, Session  # noqa: E402
 

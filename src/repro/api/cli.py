@@ -323,20 +323,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   "simulated_cycles": simulated_cycles,
                   "cycles_per_second": cycles_per_second}
     trace_metrics = _trace_metrics(results)
+    frontend_metrics = _frontend_metrics(results, policy, session)
+    truncation = ""
+    if frontend_metrics["truncated_selections"]:
+        truncation = (f" [TRUNCATED: {frontend_metrics['truncated_selections']} "
+                      f"selections dropped >= "
+                      f"{frontend_metrics['dropped_candidates']} candidates]")
     text = (table.render()
             + f"\n\nthroughput    : {cycles_per_second:,.0f} simulated cycles/s "
               f"({simulated_cycles:,} cycles in {wall_seconds:.2f}s)"
             + f"\ntrace codec   : {trace_metrics['encode_MBps']:.1f} MB/s encode, "
               f"{trace_metrics['decode_MBps']:.1f} MB/s decode, "
               f"{trace_metrics['artifact_bytes_per_entry']:.2f} B/entry "
-              f"({trace_metrics['entries']:,} entries)")
+              f"({trace_metrics['entries']:,} entries)"
+            + f"\nfront-end     : {frontend_metrics['candidates_per_sec']:,.0f} "
+              f"candidates/s, enumerate+select "
+              f"{frontend_metrics['enumerate_select_seconds'] * 1000:.2f} ms/sweep "
+              f"(cold {frontend_metrics['cold_seconds'] * 1000:.2f} ms), "
+              f"block-memo hit rate "
+              f"{frontend_metrics['block_memo_hit_rate'] * 100:.0f}%"
+            + truncation)
     payload = {"bench": _table_to_dict(table),
                "results": [artifacts.report() for artifacts in results],
                "throughput": throughput,
-               "trace": trace_metrics}
+               "trace": trace_metrics,
+               "frontend": frontend_metrics}
     if args.record is not None:
         record_path = _write_bench_record(args, session, names, throughput,
-                                          trace_metrics, before)
+                                          trace_metrics, frontend_metrics, before)
         payload["record_path"] = record_path
         text += f"\nrecorded      : {record_path}"
     _emit(args, session, text, payload)
@@ -405,9 +419,69 @@ def _trace_metrics(results: List[Any]) -> Dict[str, Any]:
     }
 
 
+#: Passes of the front-end measurement; pass 1 runs against whatever block
+#: memo state the sweep left behind (cold in pool mode), later passes measure
+#: the steady state that repeated sweeps (Figure 5, domain selection) see.
+_FRONTEND_PASSES = 5
+
+
+def _frontend_metrics(results: List[Any], policy: Optional[SelectionPolicy],
+                      session: Session) -> Dict[str, Any]:
+    """Compilation front-end throughput over the sweep's programs.
+
+    Like :func:`_trace_metrics`, measured post-hoc over the artifacts the
+    sweep produced: ``_FRONTEND_PASSES`` passes of enumerate+select over
+    every (program, profile) pair.  ``enumerate_select_seconds`` is the mean
+    seconds per pass (the steady-state front-end cost of one suite sweep);
+    ``cold_seconds`` is the first pass.  Truncation counts come from the
+    sweep's own select stages (via the session's ``frontend_*`` stats) plus
+    this measurement, so silently capped enumerations are never invisible.
+    """
+    from ..minigraph.registry import FRONTEND_STATS
+    from ..minigraph.selection import select_minigraphs
+
+    selection_policy = policy if policy is not None else DEFAULT_POLICY
+    before = FRONTEND_STATS.snapshot()
+    pass_seconds: List[float] = []
+    admissible = 0
+    truncated_selections = 0
+    for iteration in range(_FRONTEND_PASSES):
+        start = time.perf_counter()
+        for artifacts in results:
+            selection = select_minigraphs(artifacts.program, artifacts.profile,
+                                          policy=selection_policy)
+            if iteration == 0:
+                admissible += selection.candidate_count
+                truncated_selections += int(selection.truncated)
+        pass_seconds.append(time.perf_counter() - start)
+    delta = FRONTEND_STATS.delta_since(before)
+    mean_seconds = sum(pass_seconds) / len(pass_seconds) if pass_seconds else 0.0
+    memo_lookups = delta.block_memo_hits + delta.block_memo_misses
+    stats = session.stats
+    return {
+        "passes": _FRONTEND_PASSES,
+        "pass_seconds": pass_seconds,
+        "cold_seconds": pass_seconds[0] if pass_seconds else 0.0,
+        "enumerate_select_seconds": mean_seconds,
+        "enumeration_seconds": delta.enumeration_seconds / _FRONTEND_PASSES,
+        "selection_seconds": delta.selection_seconds / _FRONTEND_PASSES,
+        "admissible_candidates": admissible,
+        "candidates_per_sec": admissible / mean_seconds if mean_seconds else 0.0,
+        "block_memo_hit_rate":
+            delta.block_memo_hits / memo_lookups if memo_lookups else 0.0,
+        "truncated_selections": truncated_selections,
+        "dropped_candidates": delta.dropped_candidates // _FRONTEND_PASSES,
+        "sweep_enumeration_seconds": stats.frontend_enumeration_seconds,
+        "sweep_selection_seconds": stats.frontend_selection_seconds,
+        "sweep_truncated_blocks": stats.frontend_truncated_blocks,
+        "sweep_dropped_candidates": stats.frontend_dropped_candidates,
+    }
+
+
 def _write_bench_record(args: argparse.Namespace, session: Session,
                         names: List[str], throughput: Dict[str, Any],
                         trace_metrics: Dict[str, Any],
+                        frontend_metrics: Dict[str, Any],
                         before: Optional[Dict[str, Any]]) -> str:
     """Write the ``BENCH_*.json`` simulator-throughput record.
 
@@ -426,6 +500,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         "recorded_at": time.time(),
         **throughput,
         "trace": trace_metrics,
+        "frontend": frontend_metrics,
         # Cache context: with a warm artifact cache no simulation runs and
         # cycles_per_second measures cache-load speed, not the simulator.
         "session_stats": session.stats.as_dict(),
@@ -440,7 +515,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         record["before"] = {key: before.get(key) for key in
                             ("wall_seconds", "simulated_cycles",
                              "cycles_per_second", "version", "recorded_at",
-                             "trace")}
+                             "trace", "frontend")}
         previous = before.get("cycles_per_second") or 0.0
         if previous > 0:
             record["speedup_vs_before"] = throughput["cycles_per_second"] / previous
@@ -457,6 +532,22 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
                 trace_metrics["artifact_bytes_per_entry"] / old_bytes
         if trace_speedups:
             record["trace_speedup_vs_before"] = trace_speedups
+        previous_frontend = before.get("frontend") or {}
+        frontend_speedups: Dict[str, float] = {}
+        old_seconds = previous_frontend.get("enumerate_select_seconds") or 0.0
+        if old_seconds > 0 and frontend_metrics["enumerate_select_seconds"] > 0:
+            frontend_speedups["enumerate_select_speedup"] = \
+                old_seconds / frontend_metrics["enumerate_select_seconds"]
+        old_rate = previous_frontend.get("candidates_per_sec") or 0.0
+        if old_rate > 0:
+            frontend_speedups["candidates_per_sec_ratio"] = \
+                frontend_metrics["candidates_per_sec"] / old_rate
+        old_cold = previous_frontend.get("cold_seconds") or 0.0
+        if old_cold > 0 and frontend_metrics["cold_seconds"] > 0:
+            frontend_speedups["cold_speedup"] = \
+                old_cold / frontend_metrics["cold_seconds"]
+        if frontend_speedups:
+            record["frontend_speedup_vs_before"] = frontend_speedups
     path = args.record or f"BENCH_{args.suite or 'all'}.json"
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)

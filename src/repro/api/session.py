@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..minigraph.mgt import MiniGraphTable
+from ..minigraph.registry import FRONTEND_STATS
 from ..minigraph.selection import SelectionResult, select_minigraphs
 from ..program.profile import BlockProfile
 from ..program.program import Program
@@ -60,7 +61,14 @@ class ProfileArtifact:
 
 @dataclass
 class SessionStats:
-    """How much actual work (vs cache reuse) a session performed."""
+    """How much actual work (vs cache reuse) a session performed.
+
+    The ``frontend_*`` fields mirror the compilation front-end counters
+    (:data:`repro.minigraph.registry.FRONTEND_STATS`) for the select stages
+    this session actually executed; they are sampled as deltas around each
+    stage so pool workers report the front-end work their process performed
+    and :meth:`merge` aggregates it back into the driving session.
+    """
 
     assemble_runs: int = 0
     functional_runs: int = 0
@@ -68,19 +76,35 @@ class SessionStats:
     rewrite_runs: int = 0
     mgt_builds: int = 0
     timing_runs: int = 0
+    frontend_enumeration_seconds: float = 0.0
+    frontend_selection_seconds: float = 0.0
+    frontend_candidates: int = 0
+    frontend_blocks: int = 0
+    frontend_memo_hits: int = 0
+    frontend_memo_misses: int = 0
+    frontend_truncated_blocks: int = 0
+    frontend_dropped_candidates: int = 0
 
     @property
     def simulations(self) -> int:
         """Functional plus timing simulations actually executed."""
         return self.functional_runs + self.timing_runs
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, Any]:
         return {"assemble_runs": self.assemble_runs,
                 "functional_runs": self.functional_runs,
                 "selection_runs": self.selection_runs,
                 "rewrite_runs": self.rewrite_runs,
                 "mgt_builds": self.mgt_builds,
-                "timing_runs": self.timing_runs}
+                "timing_runs": self.timing_runs,
+                "frontend_enumeration_seconds": self.frontend_enumeration_seconds,
+                "frontend_selection_seconds": self.frontend_selection_seconds,
+                "frontend_candidates": self.frontend_candidates,
+                "frontend_blocks": self.frontend_blocks,
+                "frontend_memo_hits": self.frontend_memo_hits,
+                "frontend_memo_misses": self.frontend_memo_misses,
+                "frontend_truncated_blocks": self.frontend_truncated_blocks,
+                "frontend_dropped_candidates": self.frontend_dropped_candidates}
 
     def merge(self, other: "SessionStats") -> None:
         """Accumulate another session's work (e.g. a map() worker's)."""
@@ -90,6 +114,25 @@ class SessionStats:
         self.rewrite_runs += other.rewrite_runs
         self.mgt_builds += other.mgt_builds
         self.timing_runs += other.timing_runs
+        self.frontend_enumeration_seconds += other.frontend_enumeration_seconds
+        self.frontend_selection_seconds += other.frontend_selection_seconds
+        self.frontend_candidates += other.frontend_candidates
+        self.frontend_blocks += other.frontend_blocks
+        self.frontend_memo_hits += other.frontend_memo_hits
+        self.frontend_memo_misses += other.frontend_memo_misses
+        self.frontend_truncated_blocks += other.frontend_truncated_blocks
+        self.frontend_dropped_candidates += other.frontend_dropped_candidates
+
+    def record_frontend_delta(self, delta) -> None:
+        """Fold a :class:`~repro.minigraph.registry.FrontendStats` delta in."""
+        self.frontend_enumeration_seconds += delta.enumeration_seconds
+        self.frontend_selection_seconds += delta.selection_seconds
+        self.frontend_candidates += delta.candidates_enumerated
+        self.frontend_blocks += delta.blocks_enumerated
+        self.frontend_memo_hits += delta.block_memo_hits
+        self.frontend_memo_misses += delta.block_memo_misses
+        self.frontend_truncated_blocks += delta.truncated_blocks
+        self.frontend_dropped_candidates += delta.dropped_candidates
 
 
 @dataclass
@@ -212,13 +255,21 @@ class Session:
         return self._profile_artifact(spec).trace
 
     def selection(self, spec: RunSpec) -> SelectionResult:
-        """Stage ``select``: greedy coverage-driven mini-graph selection."""
+        """Stage ``select``: greedy coverage-driven mini-graph selection.
+
+        A selection that enumeration truncated (its safety valves dropped
+        candidates) is surfaced through ``SelectionResult.truncated`` and the
+        session's ``frontend_*`` statistics.
+        """
         if spec.policy is None:
             raise ValueError(f"{spec.label}: baseline-only specs have no selection")
         def compute() -> SelectionResult:
             self.stats.selection_runs += 1
-            return select_minigraphs(self.program(spec), self.profile(spec),
-                                     policy=spec.policy)
+            before = FRONTEND_STATS.snapshot()
+            result = select_minigraphs(self.program(spec), self.profile(spec),
+                                       policy=spec.policy)
+            self.stats.record_frontend_delta(FRONTEND_STATS.delta_since(before))
+            return result
         return self._stage("select", spec, compute)
 
     def rewritten(self, spec: RunSpec) -> Program:

@@ -45,6 +45,7 @@ def run_coverage_panel(runner: ExperimentRunner, *, integer_only: bool,
         title=f"Figure 5 ({panel}): coverage vs MGT entries / max graph size",
         columns=[])
     breakdown: Dict[str, Dict[int, float]] = {}
+    truncated: List[str] = []
     for name in names:
         artifacts = runner.baseline(name)
         sweep = sweep_coverage(artifacts.program, artifacts.profile,
@@ -55,9 +56,15 @@ def run_coverage_panel(runner: ExperimentRunner, *, integer_only: bool,
             table.add(name, column, cell.coverage, suite=_suite_of(name))
         reference = sweep.cell(max(mgt_sizes), 4 if 4 in graph_sizes else max(graph_sizes))
         breakdown[name] = reference.coverage_by_size
+        if sweep.truncated:
+            truncated.append(name)
     table.notes.append(
         "columns are <MGT entries>e/<max mini-graph size>i; values are the fraction "
         "of dynamic instructions removed from the pipeline")
+    if truncated:
+        table.notes.append(
+            "enumeration truncated (coverage under-reported) for: "
+            + ", ".join(truncated))
     return CoverageExperimentResult(panel=panel, table=table, by_size_breakdown=breakdown)
 
 
@@ -81,6 +88,12 @@ def run_domain_panel(runner: ExperimentRunner, *,
         for entries in mgt_sizes:
             policy = DEFAULT_POLICY.with_mgt_entries(entries).with_max_size(max_graph_size)
             domain = select_domain_minigraphs(programs, suite_name=suite, policy=policy)
+            truncated = sorted(name for name, result in domain.per_program.items()
+                               if result.truncated)
+            if truncated:
+                table.notes.append(
+                    f"{suite}/domain-{entries}e: enumeration truncated for "
+                    + ", ".join(truncated))
             for name, result in domain.per_program.items():
                 table.add(name, f"domain-{entries}e", result.coverage, suite=suite)
     table.notes.append("the MGT is shared by every benchmark in the suite")

@@ -7,7 +7,7 @@ instructions, the chosen anchor, and the concrete interface register names.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..program.rewriter import RewriteSite
@@ -26,6 +26,10 @@ class MiniGraphCandidate:
         template: the register-name-independent definition.
         input_regs: architectural registers bound to E0/E1 (in order).
         output_reg: architectural register bound to the output, or None.
+        template_id: process-local interned id of ``template`` (see
+            :mod:`repro.minigraph.registry`).  A cache, not part of the
+            candidate's identity: excluded from equality/hash and stripped on
+            pickling because ids never transfer across processes.
     """
 
     block_id: int
@@ -34,6 +38,15 @@ class MiniGraphCandidate:
     template: MiniGraphTemplate
     input_regs: Tuple[int, ...]
     output_reg: Optional[int]
+    template_id: Optional[int] = field(default=None, compare=False, repr=False)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["template_id"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
     @property
     def size(self) -> int:

@@ -39,11 +39,22 @@ class CoverageCell:
 
 @dataclass
 class CoverageSweep:
-    """Full Figure 5 sweep for one program and one policy family."""
+    """Full Figure 5 sweep for one program and one policy family.
+
+    ``truncated_blocks``/``dropped_subsets`` surface what the shared
+    enumeration's safety valves dropped — every cell of a truncated sweep
+    under-reports coverage, so the figure harness flags it.
+    """
 
     program_name: str
     memory_allowed: bool
     cells: List[CoverageCell] = field(default_factory=list)
+    truncated_blocks: int = 0
+    dropped_subsets: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        return self.truncated_blocks > 0
 
     def cell(self, mgt_entries: int, max_graph_size: int) -> CoverageCell:
         for cell in self.cells:
@@ -77,7 +88,9 @@ def sweep_coverage(program: Program, profile: BlockProfile, *,
     candidates = enumerate_minigraphs(program, limits)
 
     sweep = CoverageSweep(program_name=program.name,
-                          memory_allowed=base_policy.allow_memory)
+                          memory_allowed=base_policy.allow_memory,
+                          truncated_blocks=candidates.truncated_blocks,
+                          dropped_subsets=candidates.dropped_subsets)
     for mgt_entries in mgt_sizes:
         for graph_size in graph_sizes:
             policy = base_policy.with_mgt_entries(mgt_entries).with_max_size(graph_size)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Iterable, List
 
 from .candidates import MiniGraphCandidate
+from .registry import TEMPLATE_REGISTRY, TemplateFlags
 from .templates import MiniGraphTemplate
 
 
@@ -48,27 +49,46 @@ class SelectionPolicy:
     allow_interior_loads: bool = True
     max_templates: int = 512
 
-    def admits_template(self, template: MiniGraphTemplate) -> bool:
-        """True if ``template`` satisfies every enabled restriction."""
-        if template.size > self.max_size:
+    def admits_structure(self, flags) -> bool:
+        """Admission on precomputed structural flags (see
+        :class:`repro.minigraph.registry.TemplateFlags`)."""
+        if flags.size > self.max_size:
             return False
-        if template.has_memory and not self.allow_memory:
+        if flags.has_memory and not self.allow_memory:
             return False
-        if template.has_branch and not self.allow_branches:
+        if flags.has_branch and not self.allow_branches:
             return False
-        if template.is_externally_serial and not self.allow_externally_serial:
+        if flags.externally_serial and not self.allow_externally_serial:
             return False
-        if template.is_internally_parallel and not self.allow_internally_parallel:
+        if flags.internally_parallel and not self.allow_internally_parallel:
             return False
-        if template.has_interior_load and not self.allow_interior_loads:
+        if flags.interior_load and not self.allow_interior_loads:
             return False
         return True
 
+    def admits_template(self, template: MiniGraphTemplate) -> bool:
+        """True if ``template`` satisfies every enabled restriction."""
+        return self.admits_structure(TemplateFlags.of(template))
+
     def filter_candidates(self, candidates: Iterable[MiniGraphCandidate]
                           ) -> List[MiniGraphCandidate]:
-        """Return the candidates admitted by this policy."""
-        return [candidate for candidate in candidates
-                if self.admits_template(candidate.template)]
+        """Return the candidates admitted by this policy.
+
+        Candidates carrying an interned template id (everything the
+        enumerator produces) go through the registry's per-``(policy, id)``
+        admission memo, so the structural predicates run once per distinct
+        dataflow shape instead of once per static instance.
+        """
+        registry = TEMPLATE_REGISTRY
+        admitted: List[MiniGraphCandidate] = []
+        for candidate in candidates:
+            template_id = candidate.template_id
+            if template_id is not None:
+                if registry.admits(self, template_id):
+                    admitted.append(candidate)
+            elif self.admits_template(candidate.template):
+                admitted.append(candidate)
+        return admitted
 
     # -- named variants used by the experiment harnesses ----------------------
 

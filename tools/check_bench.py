@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate committed BENCH_*.json perf records (CI bench gate).
+
+Two modes:
+
+* ``check_bench.py BENCH_4.json --min-frontend-speedup 3.0`` asserts the
+  committed record's embedded before/after comparison still carries the
+  front-end speedup the tree claims (guards against someone regenerating the
+  record with a regressed front-end);
+* ``check_bench.py NEW.json --against BENCH_4.json --max-frontend-ratio 3.0``
+  compares a freshly measured record to the committed baseline and fails if
+  the fresh enumerate+select time is more than the given factor slower
+  (loose by design: CI machines are noisy; a 3x wall-clock regression is a
+  real regression, not noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("record", help="BENCH_*.json to validate")
+    parser.add_argument("--min-frontend-speedup", type=float, default=None,
+                        help="require record.frontend_speedup_vs_before."
+                             "enumerate_select_speedup >= this value")
+    parser.add_argument("--against", default=None, metavar="BASELINE_JSON",
+                        help="committed baseline record to compare against")
+    parser.add_argument("--max-frontend-ratio", type=float, default=3.0,
+                        help="with --against: fail if the fresh "
+                             "enumerate+select seconds exceed the baseline's "
+                             "by more than this factor (default 3.0)")
+    args = parser.parse_args(argv)
+
+    record = _load(args.record)
+    failures = []
+
+    if args.min_frontend_speedup is not None:
+        speedups = record.get("frontend_speedup_vs_before") or {}
+        speedup = speedups.get("enumerate_select_speedup")
+        if speedup is None:
+            failures.append(f"{args.record}: no frontend_speedup_vs_before."
+                            "enumerate_select_speedup recorded")
+        elif speedup < args.min_frontend_speedup:
+            failures.append(
+                f"{args.record}: front-end enumerate+select speedup "
+                f"{speedup:.2f}x < required {args.min_frontend_speedup:.2f}x")
+        else:
+            print(f"{args.record}: front-end enumerate+select speedup "
+                  f"{speedup:.2f}x (>= {args.min_frontend_speedup:.2f}x)")
+
+    if args.against is not None:
+        baseline = _load(args.against)
+        fresh = (record.get("frontend") or {}).get("enumerate_select_seconds")
+        committed = (baseline.get("frontend") or {}).get("enumerate_select_seconds")
+        if fresh is None or committed is None or committed <= 0:
+            failures.append("missing frontend.enumerate_select_seconds in "
+                            f"{args.record} or {args.against}")
+        elif fresh > committed * args.max_frontend_ratio:
+            failures.append(
+                f"front-end regression: {fresh * 1000:.2f} ms/sweep vs "
+                f"committed {committed * 1000:.2f} ms/sweep "
+                f"(> {args.max_frontend_ratio:.1f}x)")
+        else:
+            print(f"front-end: {fresh * 1000:.2f} ms/sweep vs committed "
+                  f"{committed * 1000:.2f} ms/sweep — within "
+                  f"{args.max_frontend_ratio:.1f}x")
+
+    for failure in failures:
+        print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
