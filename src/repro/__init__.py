@@ -55,7 +55,9 @@ from .uarch import (
 )
 from .workloads import load_benchmark
 
-__version__ = "1.3.0"
+# 1.4.0: machine-shape (name-free MachineSpec) cache keying + the grid
+# engine's row artifacts invalidate every pre-grid persisted cache entry.
+__version__ = "1.4.0"
 
 from .api import ArtifactStore, RunArtifacts, RunSpec, Session  # noqa: E402
 

@@ -4,14 +4,18 @@ Sub-commands:
 
 * ``repro run BENCHMARK`` — one end-to-end mini-graph run;
 * ``repro figure {5,6,7,8,extras}`` — regenerate a figure of the paper;
+* ``repro grid`` — run a declarative experiment grid from the catalog
+  (``--name fig6``), sharded (``--shard i/N``), resumable (``--resume``:
+  cells whose terminal row artifact is already stored are served from it),
+  with streaming JSONL/CSV row output (``--output``);
 * ``repro bench`` — sweep a benchmark suite through :meth:`Session.sweep`,
   optionally recording simulator throughput (``--record`` writes a
-  ``BENCH_*.json`` with simulated cycles/second plus trace-pipeline metrics
-  — binary-codec encode/decode MB/s and entries/s, encode+profile
-  throughput, artifact bytes per entry and peak RSS; ``--compare`` embeds an
-  earlier record as the *before* half of a before/after pair and derives
-  speedup ratios);
-* ``repro cache {info,clear}`` — inspect / drop the on-disk artifact cache.
+  ``BENCH_*.json`` with simulated cycles/second plus trace-pipeline,
+  front-end and grid-engine metrics; ``--compare`` embeds an earlier record
+  as the *before* half of a before/after pair and derives speedup ratios);
+* ``repro cache {info,clear,prune}`` — inspect, drop or GC the on-disk
+  artifact cache (``prune`` evicts entries persisted by other
+  ``__version__``\\ s, which the current build can never serve again).
 
 Every command accepts ``--cache-dir`` (defaulting to ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro``) and ``--no-disk-cache``; ``--json`` switches the report
@@ -105,6 +109,37 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--full", action="store_true",
                         help="sweep every registered benchmark")
 
+    grid = commands.add_parser(
+        "grid", help="run a declarative experiment grid (sharded, resumable)")
+    grid.add_argument("--name", default=None,
+                      help="named grid from the catalog (see --list)")
+    grid.add_argument("--list", action="store_true",
+                      help="list the registered grids and exit")
+    grid.add_argument("--benchmarks", nargs="+", default=None,
+                      help="benchmark axis override (default: the grid's "
+                           "own set, or a representative kernel per suite)")
+    grid.add_argument("--budget", type=int, default=None,
+                      help="dynamic-instruction budget per benchmark "
+                           "(default: the grid's own)")
+    grid.add_argument("--input", default="reference",
+                      help="benchmark input set")
+    grid.add_argument("--shard", default=None, metavar="I/N",
+                      help="run only stage-shard I of N (0-based); shards "
+                           "partition the plan, so their union equals the "
+                           "unsharded grid")
+    grid.add_argument("--resume", action="store_true",
+                      help="serve cells whose terminal row artifact is "
+                           "already in the store without re-executing them")
+    grid.add_argument("--workers", type=int, default=None,
+                      help="process-pool width (0/1 = serial)")
+    grid.add_argument("--output", default=None, metavar="PATH",
+                      help="stream result rows to PATH as they complete")
+    grid.add_argument("--format", choices=("jsonl", "csv"), default=None,
+                      help="row output format (default: from the --output "
+                           "extension, else jsonl)")
+    grid.add_argument("--no-table", action="store_true",
+                      help="skip rendering the grid's result tables")
+
     bench = commands.add_parser("bench", help="sweep a suite through Session.sweep")
     bench.add_argument("--suite", default=None,
                        help="suite to sweep (spec, media, comm, embedded); "
@@ -126,8 +161,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="earlier BENCH_*.json to embed as the 'before' "
                             "half of a before/after throughput comparison")
 
-    cache = commands.add_parser("cache", help="inspect or clear the artifact cache")
-    cache.add_argument("action", choices=("info", "clear"))
+    cache = commands.add_parser(
+        "cache", help="inspect, clear or prune the artifact cache")
+    cache.add_argument("action", choices=("info", "clear", "prune"),
+                       help="prune evicts artifacts persisted by stale "
+                            "__version__s (GC for long grid campaigns)")
     return parser
 
 
@@ -277,6 +315,147 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(text: str):
+    """Parse ``I/N`` into a ``(index, count)`` pair."""
+    from ..grid.spec import GridError
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise GridError(f"--shard expects I/N (e.g. 0/2), got {text!r}") \
+            from None
+
+
+class _RowWriter:
+    """Streams grid rows to a JSONL or CSV file as they complete."""
+
+    def __init__(self, path: Optional[str], fmt: Optional[str],
+                 axis_names: Sequence[str]) -> None:
+        self._handle = None
+        self._csv = None
+        self._axis_names = list(axis_names)
+        if path is None:
+            return
+        if fmt is None:
+            fmt = "csv" if path.endswith(".csv") else "jsonl"
+        self.format = fmt
+        self._handle = open(path, "w", encoding="utf-8", newline="")
+        if fmt == "csv":
+            import csv
+            self._csv = csv.writer(self._handle)
+            self._csv.writerow(["index", *self._axis_names, *_ROW_FIELDS])
+
+    def write(self, row) -> None:
+        if self._handle is None:
+            return
+        data = row.as_dict()
+        if self._csv is not None:
+            point = data["point"]
+            self._csv.writerow(
+                [data["index"],
+                 *[point.get(name) for name in self._axis_names],
+                 *[data[field] for field in _ROW_FIELDS]])
+        else:
+            self._handle.write(json.dumps(data, sort_keys=True) + "\n")
+        # Flush per row: a campaign killed mid-flight keeps every completed
+        # cell, which is exactly what --resume restarts from.
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+#: Flat row fields streamed to CSV, in column order (JSONL carries them all).
+_ROW_FIELDS = ("spec_hash", "benchmark", "input", "budget", "machine",
+               "machine_hash", "baseline_machine", "coverage", "baseline_ipc",
+               "ipc", "speedup", "cycles", "baseline_cycles", "templates",
+               "resumed")
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from ..grid import get_grid, grid_definitions, plan_grid
+
+    if args.list:
+        lines = ["registered grids:"]
+        rows = []
+        for definition in grid_definitions():
+            rows.append({"name": definition.name,
+                         "description": definition.description,
+                         "default_budget": definition.default_budget})
+            lines.append(f"  {definition.name:12s} {definition.description}")
+        _emit(args, None, "\n".join(lines), {"grids": rows})
+        return 0
+    if args.name is None:
+        print("repro: error: grid needs --name (or --list)", file=sys.stderr)
+        return 2
+
+    definition = get_grid(args.name)
+    benchmarks = args.benchmarks if args.benchmarks is not None else \
+        list(definition.default_benchmarks or QUICK_BENCHMARKS)
+    budget = args.budget if args.budget is not None \
+        else definition.default_budget
+    grid = definition.build(benchmarks=benchmarks, budget=budget,
+                            input_name=args.input)
+    plan = plan_grid(grid)
+    if args.shard is not None:
+        plan = plan.take_shard(*_parse_shard(args.shard))
+
+    session = Session(cache_dir=_cache_dir(args))
+    writer = _RowWriter(args.output, args.format,
+                        [axis.name for axis in grid.axes])
+    rows = []
+    start = time.perf_counter()
+    try:
+        for row in session.run_grid(plan, resume=args.resume,
+                                    workers=args.workers):
+            rows.append(row)
+            writer.write(row)
+    finally:
+        writer.close()
+    wall_seconds = time.perf_counter() - start
+
+    executed = sum(1 for row in rows if not row.resumed)
+    resumed = len(rows) - executed
+    plan_info = plan.describe()
+    cache = session.cache_stats
+    lines = [f"grid          : {grid.name} — {grid.title}",
+             f"plan          : {plan_info['cells']} cells in "
+             f"{plan_info['stages']} shared-artifact stages "
+             f"({plan_info['frontend_compiles']} front-end compiles, "
+             f"dedup {plan_info['dedup_ratio']:.2f}x)"
+             + (f", shard {plan_info['shard']}" if plan_info['shard'] else ""),
+             f"executed      : {executed} cells ({resumed} resumed) "
+             f"in {wall_seconds:.2f}s",
+             f"cache         : {cache.hits}/{cache.lookups} hits "
+             f"({cache.hit_rate * 100:.0f}%)"]
+    if args.output is not None:
+        lines.append(f"rows          : {args.output} ({writer.format})")
+    text = "\n".join(lines)
+
+    tables = []
+    if definition.report is not None and not args.no_table and rows:
+        report_text, tables = definition.report(rows)
+        text += "\n\n" + report_text
+
+    payload: Dict[str, Any] = {
+        "grid": grid.name,
+        "plan": plan_info,
+        "cells": len(rows),
+        "executed": executed,
+        "resumed": resumed,
+        "wall_seconds": wall_seconds,
+        "output": args.output,
+        "rows": [row.as_dict() for row in rows],
+        "tables": [_table_to_dict(table) for table in tables],
+    }
+    _emit(args, session, text, payload)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     session = Session(cache_dir=_cache_dir(args))
     names = REGISTRY.names(args.suite)
@@ -324,6 +503,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   "cycles_per_second": cycles_per_second}
     trace_metrics = _trace_metrics(results)
     frontend_metrics = _frontend_metrics(results, policy, session)
+    grid_metrics = _grid_metrics(session, names, policy, args.budget,
+                                 args.workers)
     truncation = ""
     if frontend_metrics["truncated_selections"]:
         truncation = (f" [TRUNCATED: {frontend_metrics['truncated_selections']} "
@@ -342,15 +523,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"(cold {frontend_metrics['cold_seconds'] * 1000:.2f} ms), "
               f"block-memo hit rate "
               f"{frontend_metrics['block_memo_hit_rate'] * 100:.0f}%"
-            + truncation)
+            + truncation
+            + f"\ngrid          : {grid_metrics['specs_per_second']:,.0f} "
+              f"specs/s planned, {grid_metrics['dedup_ratio']:.2f}x "
+              f"shared-artifact dedup, resume hit rate "
+              f"{grid_metrics['resume_hit_rate'] * 100:.0f}%")
     payload = {"bench": _table_to_dict(table),
                "results": [artifacts.report() for artifacts in results],
                "throughput": throughput,
                "trace": trace_metrics,
-               "frontend": frontend_metrics}
+               "frontend": frontend_metrics,
+               "grid": grid_metrics}
     if args.record is not None:
         record_path = _write_bench_record(args, session, names, throughput,
-                                          trace_metrics, frontend_metrics, before)
+                                          trace_metrics, frontend_metrics,
+                                          grid_metrics, before)
         payload["record_path"] = record_path
         text += f"\nrecorded      : {record_path}"
     _emit(args, session, text, payload)
@@ -419,6 +606,70 @@ def _trace_metrics(results: List[Any]) -> Dict[str, Any]:
     }
 
 
+#: Planning passes of the grid measurement (pure in-memory work; several
+#: passes smooth out timer noise on the specs/s figure).
+_GRID_PLAN_PASSES = 5
+
+
+def _grid_metrics(session: Session, names: List[str],
+                  policy: Optional[SelectionPolicy], budget: int,
+                  workers: Optional[int]) -> Dict[str, Any]:
+    """Grid-engine throughput over the sweep's benchmarks.
+
+    Builds the benchmark × {minigraph, baseline} grid the sweep implies,
+    measures planning speed (specs/s expanded+grouped), the shared-artifact
+    dedup ratio the planner achieves, then executes the grid once (warm:
+    every pipeline artifact exists from the sweep) and re-runs it with
+    ``resume`` — the hit rate of that second pass is the resume guarantee
+    long campaigns rely on, and must be 1.0.
+    """
+    from ..grid.planner import plan_grid
+    from ..grid.spec import Axis, GridSpec
+
+    axes = (Axis("benchmark", tuple(names)),
+            Axis("config", ("minigraph", "baseline")))
+
+    def build(point):
+        if point["config"] == "minigraph":
+            if policy is None:
+                return None  # baseline-only bench: one cell per benchmark
+            return RunSpec(benchmark=point["benchmark"], budget=budget,
+                           policy=policy)
+        return RunSpec(benchmark=point["benchmark"], budget=budget,
+                       policy=None)
+
+    grid = GridSpec(name="bench-grid", axes=axes, build=build,
+                    title="bench sweep as a grid")
+    plan = None
+    plan_seconds: List[float] = []
+    for _ in range(_GRID_PLAN_PASSES):
+        start = time.perf_counter()
+        plan = plan_grid(grid)
+        plan_seconds.append(time.perf_counter() - start)
+    mean_plan_seconds = sum(plan_seconds) / len(plan_seconds)
+    cells = plan.cell_count
+
+    start = time.perf_counter()
+    first = list(session.run_grid(plan, workers=workers))
+    execute_seconds = time.perf_counter() - start
+    resumed_pass = list(session.run_grid(plan, resume=True, workers=workers))
+    resumed = sum(1 for row in resumed_pass if row.resumed)
+    return {
+        "cells": cells,
+        "stages": plan.stage_count,
+        "frontend_compiles": plan.frontend_compiles,
+        "dedup_ratio": plan.dedup_ratio,
+        "plan_passes": _GRID_PLAN_PASSES,
+        "plan_seconds_per_pass": mean_plan_seconds,
+        "specs_per_second":
+            cells / mean_plan_seconds if mean_plan_seconds else 0.0,
+        "execute_seconds": execute_seconds,
+        "executed_cells": sum(1 for row in first if not row.resumed),
+        "resume_hit_rate": resumed / cells if cells else 0.0,
+        "resumed_cells": resumed,
+    }
+
+
 #: Passes of the front-end measurement; pass 1 runs against whatever block
 #: memo state the sweep left behind (cold in pool mode), later passes measure
 #: the steady state that repeated sweeps (Figure 5, domain selection) see.
@@ -482,6 +733,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
                         names: List[str], throughput: Dict[str, Any],
                         trace_metrics: Dict[str, Any],
                         frontend_metrics: Dict[str, Any],
+                        grid_metrics: Dict[str, Any],
                         before: Optional[Dict[str, Any]]) -> str:
     """Write the ``BENCH_*.json`` simulator-throughput record.
 
@@ -501,6 +753,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         **throughput,
         "trace": trace_metrics,
         "frontend": frontend_metrics,
+        "grid": grid_metrics,
         # Cache context: with a warm artifact cache no simulation runs and
         # cycles_per_second measures cache-load speed, not the simulator.
         "session_stats": session.stats.as_dict(),
@@ -515,7 +768,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         record["before"] = {key: before.get(key) for key in
                             ("wall_seconds", "simulated_cycles",
                              "cycles_per_second", "version", "recorded_at",
-                             "trace", "frontend")}
+                             "trace", "frontend", "grid")}
         previous = before.get("cycles_per_second") or 0.0
         if previous > 0:
             record["speedup_vs_before"] = throughput["cycles_per_second"] / previous
@@ -556,14 +809,25 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from .. import __version__
     cache_dir = _cache_dir(args)
-    store = ArtifactStore(cache_dir)
+    store = ArtifactStore(cache_dir, version=__version__)
     if args.action == "info":
         info = store.info()
         payload = {"cache_dir": info.cache_dir,
+                   "version": info.version,
                    "disk_entries": info.disk_entries,
-                   "disk_bytes": info.disk_bytes}
+                   "disk_bytes": info.disk_bytes,
+                   "stale_entries": info.stale_entries,
+                   "stale_bytes": info.stale_bytes}
         _emit(args, None, info.render(), payload)
+        return 0
+    if args.action == "prune":
+        removed, freed = store.prune()
+        _emit(args, None,
+              f"pruned {removed} stale-version artifacts ({freed} bytes)",
+              {"pruned": removed, "freed_bytes": freed,
+               "version": __version__, "cache_dir": cache_dir})
         return 0
     removed = store.clear()
     _emit(args, None, f"removed {removed} cached artifacts",
@@ -573,18 +837,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    from ..grid.spec import GridError
+    from ..uarch.config import ConfigError
     try:
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "figure":
             return _cmd_figure(args)
+        if args.command == "grid":
+            return _cmd_grid(args)
         if args.command == "bench":
             return _cmd_bench(args)
         return _cmd_cache(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
         return 0
-    except (WorkloadError, SpecError) as error:
+    except (WorkloadError, SpecError, GridError, ConfigError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
 

@@ -192,12 +192,15 @@ class Session:
                  version: Optional[str] = None) -> None:
         if store is not None and cache_dir is not None:
             raise ValueError("pass either a store or a cache_dir, not both")
-        self._store = store if store is not None else ArtifactStore(cache_dir)
-        self._workers = workers
         if version is None:
             from .. import __version__
             version = __version__
         self._version = version
+        # Session-created stores are version-aware so their disk entries land
+        # in the per-version directory `repro cache prune` can GC.
+        self._store = store if store is not None \
+            else ArtifactStore(cache_dir, version=version)
+        self._workers = workers
         self.stats = SessionStats()
 
     @property
@@ -308,7 +311,7 @@ class Session:
             return simulate_program(self.program(spec), self.baseline_trace(spec),
                                     config)
         return self._stage("time_baseline", spec, compute,
-                           extra=(canonical_key(config),))
+                           extra=(config.resolve().key,))
 
     def minigraph_timing(self, spec: RunSpec,
                          machine: Optional[MachineConfig] = None) -> PipelineStats:
@@ -323,7 +326,7 @@ class Session:
                                     config, mgt=self.mgt(spec),
                                     compressed_layout=spec.compressed_layout)
         return self._stage("time", spec, compute,
-                           extra=("minigraph", canonical_key(config),
+                           extra=("minigraph", config.resolve().key,
                                   spec.compressed_layout))
 
     def timing(self, spec: RunSpec) -> PipelineStats:
@@ -437,6 +440,27 @@ class Session:
             for position, artifacts in zip(positions, group_artifacts):
                 results[position] = artifacts
         return results  # type: ignore[return-value]
+
+    # -- grids ---------------------------------------------------------------------
+
+    def plan(self, grid) -> "GridPlan":  # noqa: F821 - forward ref, see repro.grid
+        """Expand a :class:`~repro.grid.spec.GridSpec` into a
+        :class:`~repro.grid.planner.GridPlan` of shared-artifact stages."""
+        from ..grid.planner import plan_grid
+        return plan_grid(grid)
+
+    def run_grid(self, grid, *, shard=None, resume=False, workers=None):
+        """Execute a grid (or plan), streaming one row per cell.
+
+        Thin front door to :func:`repro.grid.engine.run_grid`: supports
+        ``shard=(index, count)`` stage-partitioning, ``resume=True`` (serve
+        cells whose terminal row artifact is already stored) and the same
+        process-pool fan-out/accounting as :meth:`sweep`.  Returns a lazy
+        iterator of :class:`~repro.grid.engine.GridRow`.
+        """
+        from ..grid.engine import run_grid
+        return run_grid(self, grid, shard=shard, resume=resume,
+                        workers=workers)
 
     # -- pool plumbing shared by map() and sweep() ---------------------------------
 

@@ -187,15 +187,25 @@ class RunSpec:
         raise SpecError(f"unknown stage {stage!r}; expected one of {STAGES}")
 
     def _identity(self) -> Tuple[Any, ...]:
-        """The fully-normalized spec as a hashable tuple."""
-        return (
-            self.source_id, self.input_name, self.budget,
-            canonical_key(self.policy),
-            canonical_key(self.resolved_machine),
-            canonical_key(self.resolved_baseline_machine),
-            canonical_key(self.resolved_mgt_options),
-            self.compressed_layout,
-        )
+        """The fully-normalized spec as a hashable tuple.
+
+        Machines enter through their canonical :class:`MachineSpec` keys
+        (name-free, derived fields normalized), so two specs differing only
+        in a machine's display name are the same run.  Memoized: the spec is
+        frozen, so the identity can never change.
+        """
+        cached = self.__dict__.get("_identity_key")
+        if cached is None:
+            cached = (
+                self.source_id, self.input_name, self.budget,
+                canonical_key(self.policy),
+                self.resolved_machine.resolve().key,
+                self.resolved_baseline_machine.resolve().key,
+                canonical_key(self.resolved_mgt_options),
+                self.compressed_layout,
+            )
+            object.__setattr__(self, "_identity_key", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RunSpec):

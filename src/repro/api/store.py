@@ -70,6 +70,12 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 with no lookups)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
     def as_dict(self) -> Dict[str, int]:
         return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
                 "misses": self.misses, "puts": self.puts}
@@ -83,32 +89,66 @@ class StoreInfo:
     memory_entries: int
     disk_entries: int
     disk_bytes: int
+    version: Optional[str] = None
+    stale_entries: int = 0
+    stale_bytes: int = 0
 
     def render(self) -> str:
         lines = [f"cache directory : {self.cache_dir or '(memory only)'}",
+                 f"store version   : {self.version or '(unversioned)'}",
                  f"memory entries  : {self.memory_entries}",
                  f"disk entries    : {self.disk_entries}",
                  f"disk bytes      : {self.disk_bytes}"]
+        if self.version is not None:
+            lines.append(f"stale entries   : {self.stale_entries} "
+                         f"({self.stale_bytes} bytes from other versions; "
+                         f"`repro cache prune` evicts them)")
         return "\n".join(lines)
 
 
-class ArtifactStore:
-    """Two-level (memory + optional disk) cache for pipeline artifacts."""
+def _version_dirname(version: str) -> str:
+    """Filesystem-safe directory name for one ``repro.__version__``."""
+    safe = "".join(ch if ch.isalnum() or ch in "._-" else "_"
+                   for ch in version)
+    return f"v-{safe}"
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+
+class ArtifactStore:
+    """Two-level (memory + optional disk) cache for pipeline artifacts.
+
+    When a ``version`` is given, disk entries live under a per-version
+    subdirectory (``<cache_dir>/v-<version>/``); entries from other versions
+    are never read (keys embed the version anyway) but keep accumulating
+    across upgrades, so :meth:`prune` can evict every stale-version entry
+    while leaving the live set intact.  A version-less store keeps the flat
+    legacy layout.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None, *,
+                 version: Optional[str] = None) -> None:
         self._memory: Dict[str, Any] = {}
         self._cache_dir: Optional[Path] = Path(cache_dir) if cache_dir is not None else None
+        self._version = version
+        if self._cache_dir is not None and version is not None:
+            self._entry_dir: Optional[Path] = \
+                self._cache_dir / _version_dirname(version)
+        else:
+            self._entry_dir = self._cache_dir
         self.stats = CacheStats()
 
     @property
     def cache_dir(self) -> Optional[Path]:
         return self._cache_dir
 
+    @property
+    def version(self) -> Optional[str]:
+        return self._version
+
     # -- lookup / insert -----------------------------------------------------------
 
     def _path(self, key: str) -> Path:
-        assert self._cache_dir is not None
-        return self._cache_dir / f"{key}.pkl"
+        assert self._entry_dir is not None
+        return self._entry_dir / f"{key}.pkl"
 
     def get(self, key: str) -> Any:
         """Cached value for ``key``, or :data:`MISS`."""
@@ -174,8 +214,8 @@ class ArtifactStore:
         # Write-then-rename so concurrent readers (Session.map workers sharing
         # one cache directory) never observe a partial entry.
         try:
-            self._cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=str(self._cache_dir),
+            self._entry_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(self._entry_dir),
                                             suffix=".tmp")
         except OSError:
             # Unwritable cache directory: stay memory-only for this value.
@@ -207,9 +247,15 @@ class ArtifactStore:
     # -- maintenance ---------------------------------------------------------------
 
     def _disk_entries(self) -> Iterator[Path]:
+        """Every disk entry, across all version directories (and the flat
+        legacy layout), in a deterministic order."""
         if self._cache_dir is None or not self._cache_dir.is_dir():
             return iter(())
-        return iter(sorted(self._cache_dir.glob("*.pkl")))
+        return iter(sorted(self._cache_dir.rglob("*.pkl")))
+
+    def _is_current(self, path: Path) -> bool:
+        """True when ``path`` belongs to this store's live entry directory."""
+        return self._entry_dir is not None and path.parent == self._entry_dir
 
     def clear(self, *, memory: bool = True, disk: bool = True) -> int:
         """Drop cached artifacts; returns the number of disk entries removed."""
@@ -220,19 +266,60 @@ class ArtifactStore:
             for path in self._disk_entries():
                 path.unlink(missing_ok=True)
                 removed += 1
+            self._remove_empty_version_dirs()
         return removed
+
+    def prune(self) -> Tuple[int, int]:
+        """Evict disk entries from *other* (stale) ``__version__``\\ s.
+
+        Version-hashed keys mean those entries can never be served again by
+        this build; pruning reclaims the space without touching the live
+        set.  Returns ``(entries_removed, bytes_removed)``.
+        """
+        removed = 0
+        freed = 0
+        for path in self._disk_entries():
+            if self._is_current(path):
+                continue
+            try:
+                freed += path.stat().st_size
+            except OSError:
+                pass
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._remove_empty_version_dirs()
+        return removed, freed
+
+    def _remove_empty_version_dirs(self) -> None:
+        if self._cache_dir is None or not self._cache_dir.is_dir():
+            return
+        for child in self._cache_dir.iterdir():
+            if child.is_dir() and child.name.startswith("v-"):
+                try:
+                    child.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
 
     def info(self) -> StoreInfo:
         disk_entries = 0
         disk_bytes = 0
+        stale_entries = 0
+        stale_bytes = 0
         for path in self._disk_entries():
-            disk_entries += 1
             try:
-                disk_bytes += path.stat().st_size
+                size = path.stat().st_size
             except OSError:
-                pass
+                size = 0
+            disk_entries += 1
+            disk_bytes += size
+            if self._version is not None and not self._is_current(path):
+                stale_entries += 1
+                stale_bytes += size
         return StoreInfo(
             cache_dir=str(self._cache_dir) if self._cache_dir is not None else None,
             memory_entries=len(self._memory),
             disk_entries=disk_entries,
-            disk_bytes=disk_bytes)
+            disk_bytes=disk_bytes,
+            version=self._version,
+            stale_entries=stale_entries,
+            stale_bytes=stale_bytes)

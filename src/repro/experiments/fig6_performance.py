@@ -10,13 +10,24 @@ baseline for every benchmark:
 
 Baseline IPCs are recorded alongside, as the figure prints them under each
 benchmark.
+
+The figure is a declarative grid (benchmark × config, see
+:func:`figure6_grid`) registered in the grid catalog as ``fig6``, so it is
+reproducible as ``repro grid --name fig6`` — sharded, resumable, streaming —
+and :func:`run_figure6` is a thin harness that runs the same grid serially
+and folds the rows into the figure's table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..grid.catalog import GridDefinition, register_grid
+from ..grid.engine import GridRow
+from ..grid.spec import Axis, GridSpec
+from ..api.spec import RunSpec
+from ..minigraph.mgt import MgtBuildOptions
 from ..minigraph.policies import DEFAULT_POLICY, INTEGER_POLICY
 from ..uarch.config import (
     baseline_config,
@@ -47,31 +58,75 @@ class Figure6Result:
         return "\n".join(lines)
 
 
+def figure6_grid(*, benchmarks: Sequence[str], budget: int,
+                 input_name: str = "reference",
+                 configs: Sequence[str] = FIGURE6_CONFIGS) -> GridSpec:
+    """The Figure 6 sweep as a declarative grid: benchmark × config.
+
+    Each config name resolves to its (policy, machine) pair — the machine
+    catalog's Figure 6 entries — and every cell measures that machine
+    against the shared 6-wide baseline.
+    """
+    axes = (Axis("benchmark", tuple(benchmarks)),
+            Axis("config", tuple(configs)))
+
+    def build(point) -> RunSpec:
+        config_name = point["config"]
+        collapsing = config_name.endswith("+collapse")
+        if config_name.startswith("int-mem"):
+            policy = DEFAULT_POLICY
+            machine = integer_memory_minigraph_config(collapsing=collapsing)
+        else:
+            policy = INTEGER_POLICY
+            machine = integer_minigraph_config(collapsing=collapsing)
+        return RunSpec(
+            benchmark=point["benchmark"],
+            input_name=input_name,
+            budget=budget,
+            policy=policy,
+            machine=machine,
+            baseline_machine=baseline_config(),
+            mgt_options=MgtBuildOptions(collapsing=collapsing),
+        )
+
+    return GridSpec(name="fig6", axes=axes, build=build,
+                    title="Figure 6: mini-graph machines vs the 6-wide baseline")
+
+
+def figure6_result(rows: Iterable[GridRow]) -> Figure6Result:
+    """Fold streamed grid rows into the Figure 6 table (cell order in)."""
+    table = ResultTable(
+        title="Figure 6: performance relative to the 6-wide baseline",
+        columns=[])
+    result = Figure6Result(table=table)
+    for row in rows:
+        name = row.benchmark
+        result.baseline_ipc.setdefault(name, row.baseline_ipc)
+        table.add(name, row.labels["config"], row.speedup,
+                  suite=REGISTRY.get(name).suite)
+    table.notes.append("values are IPC relative to the baseline (1.0 = no change)")
+    return result
+
+
 def run_figure6(runner: ExperimentRunner, *,
                 benchmarks: Optional[Sequence[str]] = None,
                 configs: Sequence[str] = FIGURE6_CONFIGS) -> Figure6Result:
-    """Run the Figure 6 performance comparison."""
+    """Run the Figure 6 performance comparison (serially, via the grid)."""
     names = list(benchmarks) if benchmarks is not None else runner.benchmarks()
-    base = baseline_config()
-    table = ResultTable(
-        title="Figure 6: performance relative to the 6-wide baseline",
-        columns=list(configs))
-    result = Figure6Result(table=table)
+    grid = figure6_grid(benchmarks=names, budget=runner.budget,
+                        input_name=runner.input_name, configs=configs)
+    rows = runner.session.run_grid(grid, workers=0)
+    return figure6_result(rows)
 
-    for name in names:
-        suite = REGISTRY.get(name).suite
-        baseline_stats = runner.run_baseline(name, base)
-        result.baseline_ipc[name] = baseline_stats.ipc
-        for config_name in configs:
-            collapsing = config_name.endswith("+collapse")
-            if config_name.startswith("int-mem"):
-                policy = DEFAULT_POLICY
-                machine = integer_memory_minigraph_config(collapsing=collapsing)
-            else:
-                policy = INTEGER_POLICY
-                machine = integer_minigraph_config(collapsing=collapsing)
-            speedup = runner.speedup(name, policy, machine, baseline_config=base,
-                                     collapsing=collapsing)
-            table.add(name, config_name, speedup, suite=suite)
-    table.notes.append("values are IPC relative to the baseline (1.0 = no change)")
-    return result
+
+def _figure6_report(rows: List[GridRow]):
+    result = figure6_result(rows)
+    return result.render(), [result.table]
+
+
+register_grid(GridDefinition(
+    name="fig6",
+    description="Figure 6: benchmark × mini-graph machine config vs baseline",
+    factory=figure6_grid,
+    report=_figure6_report,
+))

@@ -2,10 +2,20 @@
 
 from .config import (
     CacheConfig,
+    ConfigError,
     MachineConfig,
+    MachineSpec,
     baseline_config,
     integer_memory_minigraph_config,
     integer_minigraph_config,
+)
+from .catalog import (
+    MACHINE_CATALOG,
+    CatalogEntry,
+    machine_catalog,
+    machine_config,
+    machine_names,
+    register_machine,
 )
 from .bpred import (
     BranchPrediction,
@@ -24,7 +34,15 @@ from .pipeline import FetchLayout, TimingError, TimingSimulator, simulate_progra
 
 __all__ = [
     "CacheConfig",
+    "ConfigError",
     "MachineConfig",
+    "MachineSpec",
+    "MACHINE_CATALOG",
+    "CatalogEntry",
+    "machine_catalog",
+    "machine_config",
+    "machine_names",
+    "register_machine",
     "baseline_config",
     "integer_memory_minigraph_config",
     "integer_minigraph_config",

@@ -9,27 +9,109 @@ Named constructors produce the exact configurations used by the figures:
 the mini-graph configurations of Figure 6 (ALU pipelines, sliding-window
 scheduler, pair-wise collapsing) and the reduced-resource configurations of
 Figure 8 (smaller register files, 4-wide pipelines, 2-cycle scheduler).
+The full catalog of named figure machines lives in
+:mod:`repro.uarch.catalog`.
+
+Both config dataclasses validate their geometry on construction
+(:class:`ConfigError` with an actionable message, instead of silent
+downstream misbehaviour), and :meth:`MachineConfig.resolve` reduces a config
+to its canonical :class:`MachineSpec` — a *name-free* machine shape with the
+derived fields normalized in, whose stable key is what the artifact cache
+folds into timing keys.  Two differently-named configs with the same
+geometry therefore share one timing artifact.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional, Tuple
+
+
+class ConfigError(ValueError):
+    """Raised for malformed machine or cache geometries."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
 
 
 @dataclass(frozen=True)
 class CacheConfig:
-    """Geometry and latency of one cache level."""
+    """Geometry and latency of one cache level.
+
+    Construction validates the geometry: every dimension must be positive,
+    the capacity must divide evenly into ``associativity * line_bytes`` ways,
+    and the resulting set count must be a power of two (the index function
+    is a bit slice; a 384-set cache cannot be built).
+    """
 
     size_bytes: int
     associativity: int
     line_bytes: int
     hit_latency: int
 
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "associativity", "line_bytes", "hit_latency"):
+            value = getattr(self, name)
+            _require(isinstance(value, int) and value > 0,
+                     f"CacheConfig.{name} must be a positive integer, "
+                     f"got {value!r}")
+        way_bytes = self.associativity * self.line_bytes
+        _require(self.size_bytes % way_bytes == 0,
+                 f"CacheConfig: size_bytes ({self.size_bytes}) must be a "
+                 f"multiple of associativity * line_bytes ({way_bytes})")
+        sets = self.size_bytes // way_bytes
+        _require(sets & (sets - 1) == 0,
+                 f"CacheConfig: geometry {self.size_bytes}B / "
+                 f"{self.associativity}-way / {self.line_bytes}B lines gives "
+                 f"{sets} sets, which is not a power of two; adjust "
+                 f"size_bytes or associativity")
+
     @property
     def num_sets(self) -> int:
-        sets = self.size_bytes // (self.associativity * self.line_bytes)
-        return max(1, sets)
+        # __post_init__ guarantees an exact, power-of-two quotient >= 1.
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True, eq=False)
+class MachineSpec:
+    """Canonical, name-free machine shape produced by :meth:`MachineConfig.resolve`.
+
+    Equality and hashing are by :attr:`key` — the validated geometry with
+    derived fields (plain ALUs, in-flight registers, cache set counts)
+    normalized in and the display ``name`` stripped — so two configs that
+    describe the same machine are the same spec, and timing artifacts are
+    cached per machine *shape* rather than per figure label.
+    """
+
+    config: "MachineConfig" = field(repr=False)
+    key: Tuple[Any, ...] = ()
+
+    @property
+    def name(self) -> str:
+        """Display name of the config this spec was resolved from."""
+        return self.config.name
+
+    @property
+    def machine_hash(self) -> str:
+        """Stable hex digest of the canonical key (process-independent)."""
+        cached = self.__dict__.get("_machine_hash")
+        if cached is None:
+            digest = hashlib.sha256(repr(self.key).encode("utf-8"))
+            cached = digest.hexdigest()[:24]
+            object.__setattr__(self, "_machine_hash", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MachineSpec):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
 
 
 @dataclass(frozen=True)
@@ -94,6 +176,57 @@ class MachineConfig:
     store_set_entries: int = 2048
     ordering_violation_penalty: int = 8
 
+    # -- validation ----------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        positive = (
+            "fetch_width", "rename_width", "issue_width", "retire_width",
+            "front_end_depth", "scheduler_latency",
+            "rob_size", "issue_queue_size", "lsq_size",
+            "physical_registers", "architected_registers",
+            "int_alu_units", "load_ports", "store_ports",
+            "alu_pipeline_depth", "max_memory_handles_per_cycle",
+            "predictor_entries", "btb_entries", "btb_associativity",
+            "memory_latency", "store_set_entries",
+        )
+        for name in positive:
+            value = getattr(self, name)
+            _require(isinstance(value, int) and value > 0,
+                     f"MachineConfig.{name} must be a positive integer, "
+                     f"got {value!r}")
+        non_negative = (
+            "register_read_latency", "fp_units", "alu_pipelines",
+            "minigraph_replay_penalty", "misprediction_redirect_penalty",
+            "ordering_violation_penalty",
+        )
+        for name in non_negative:
+            value = getattr(self, name)
+            _require(isinstance(value, int) and value >= 0,
+                     f"MachineConfig.{name} must be a non-negative integer, "
+                     f"got {value!r}")
+        _require(self.physical_registers > self.architected_registers,
+                 f"MachineConfig: physical_registers "
+                 f"({self.physical_registers}) must exceed "
+                 f"architected_registers ({self.architected_registers}); "
+                 f"a machine with no in-flight registers cannot rename")
+        _require(self.alu_pipelines <= self.int_alu_units,
+                 f"MachineConfig: alu_pipelines ({self.alu_pipelines}) "
+                 f"cannot exceed int_alu_units ({self.int_alu_units}); "
+                 f"ALU pipelines replace plain integer ALUs")
+        unit_mix = (self.int_alu_units + self.fp_units
+                    + self.load_ports + self.store_ports)
+        _require(self.issue_width <= unit_mix,
+                 f"MachineConfig: issue_width ({self.issue_width}) exceeds "
+                 f"the total execution unit mix ({unit_mix} = "
+                 f"{self.int_alu_units} int + {self.fp_units} fp + "
+                 f"{self.load_ports} load + {self.store_ports} store); "
+                 f"the machine could never sustain its stated issue width")
+        for name in ("icache", "dcache", "l2cache"):
+            value = getattr(self, name)
+            _require(isinstance(value, CacheConfig),
+                     f"MachineConfig.{name} must be a CacheConfig, "
+                     f"got {type(value).__name__}")
+
     # -- derived -----------------------------------------------------------------
 
     @property
@@ -105,6 +238,30 @@ class MachineConfig:
     def in_flight_registers(self) -> int:
         """Physical registers available for in-flight (renamed) values."""
         return self.physical_registers - self.architected_registers
+
+    # -- resolution ---------------------------------------------------------------
+
+    def resolve(self) -> MachineSpec:
+        """The canonical :class:`MachineSpec` of this (validated) config.
+
+        The spec's key is built from every dataclass field *except* ``name``
+        (driven by :func:`dataclasses.fields`, so a new knob automatically
+        changes the key) with the derived quantities — plain ALUs, in-flight
+        registers, per-cache set counts — normalized in.  The result is
+        memoized on the instance (configs are frozen, so it can never
+        change).
+        """
+        cached = self.__dict__.get("_resolved")
+        if cached is None:
+            geometry = tuple(
+                (f.name, _canonical_field(getattr(self, f.name)))
+                for f in dataclasses.fields(self) if f.name != "name")
+            derived = (("plain_alu_units", self.plain_alu_units),
+                       ("in_flight_registers", self.in_flight_registers))
+            cached = MachineSpec(config=self,
+                                 key=("MachineSpec",) + geometry + derived)
+            object.__setattr__(self, "_resolved", cached)
+        return cached
 
     # -- named variants -----------------------------------------------------------
 
@@ -158,6 +315,14 @@ class MachineConfig:
         """Pipeline the scheduler (Figure 8 bottom, "2-cycle schedule")."""
         return replace(self, scheduler_latency=latency,
                        name=f"{self.name}-sched{latency}")
+
+
+def _canonical_field(value: Any) -> Any:
+    """One machine-spec key element: caches carry their resolved set count."""
+    if isinstance(value, CacheConfig):
+        return ("CacheConfig", value.size_bytes, value.associativity,
+                value.line_bytes, value.hit_latency, value.num_sets)
+    return value
 
 
 def baseline_config() -> MachineConfig:

@@ -35,7 +35,7 @@ def test_readme_matches_cli_surface():
     from repro.api.cli import _build_parser
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     parser = _build_parser()
-    subcommands = {"run", "figure", "bench", "cache"}
+    subcommands = {"run", "figure", "grid", "bench", "cache"}
     for name in subcommands:
         assert f"repro {name}" in readme, f"README does not show `repro {name}`"
     # Every `repro <word>` the README shows must be a real sub-command.

@@ -12,6 +12,16 @@ Two modes:
   the fresh enumerate+select time is more than the given factor slower
   (loose by design: CI machines are noisy; a 3x wall-clock regression is a
   real regression, not noise).
+
+Grid-engine gates (``BENCH_5.json`` onwards):
+
+* ``--min-grid-dedup 1.5`` asserts the record's ``grid.dedup_ratio`` — the
+  planner's shared-artifact grouping — still folds multiple timing runs
+  into each stage;
+* ``--require-grid-resume`` asserts ``grid.resume_hit_rate`` is 1.0: a
+  resumed pass over a completed campaign must serve every cell from its
+  stored row artifact.  Both are deterministic (no wall clock), so they
+  gate exactly.
 """
 
 from __future__ import annotations
@@ -38,10 +48,37 @@ def main(argv=None) -> int:
                         help="with --against: fail if the fresh "
                              "enumerate+select seconds exceed the baseline's "
                              "by more than this factor (default 3.0)")
+    parser.add_argument("--min-grid-dedup", type=float, default=None,
+                        help="require record.grid.dedup_ratio >= this value")
+    parser.add_argument("--require-grid-resume", action="store_true",
+                        help="require record.grid.resume_hit_rate == 1.0")
     args = parser.parse_args(argv)
 
     record = _load(args.record)
     failures = []
+
+    if args.min_grid_dedup is not None:
+        dedup = (record.get("grid") or {}).get("dedup_ratio")
+        if dedup is None:
+            failures.append(f"{args.record}: no grid.dedup_ratio recorded")
+        elif dedup < args.min_grid_dedup:
+            failures.append(
+                f"{args.record}: grid shared-artifact dedup {dedup:.2f}x "
+                f"< required {args.min_grid_dedup:.2f}x")
+        else:
+            print(f"{args.record}: grid shared-artifact dedup {dedup:.2f}x "
+                  f"(>= {args.min_grid_dedup:.2f}x)")
+
+    if args.require_grid_resume:
+        hit_rate = (record.get("grid") or {}).get("resume_hit_rate")
+        if hit_rate is None:
+            failures.append(f"{args.record}: no grid.resume_hit_rate recorded")
+        elif hit_rate < 1.0:
+            failures.append(
+                f"{args.record}: grid resume hit rate {hit_rate * 100:.1f}% "
+                f"< required 100% — resumed campaigns re-executed cells")
+        else:
+            print(f"{args.record}: grid resume hit rate 100%")
 
     if args.min_frontend_speedup is not None:
         speedups = record.get("frontend_speedup_vs_before") or {}
