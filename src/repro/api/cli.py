@@ -15,7 +15,13 @@ Sub-commands:
   as the *before* half of a before/after pair and derives speedup ratios);
 * ``repro cache {info,clear,prune}`` — inspect, drop or GC the on-disk
   artifact cache (``prune`` evicts entries persisted by other
-  ``__version__``\\ s, which the current build can never serve again).
+  ``__version__``\\ s, which the current build can never serve again);
+* ``repro serve {start,stop,status}`` — the long-lived simulation daemon:
+  a warm worker pool behind a local socket, accepting jobs from many
+  clients and deduplicating their work through the shared store;
+* ``repro submit`` — submit a named grid to a running daemon (optionally
+  ``--follow``\\ ing its streamed rows);
+* ``repro jobs`` — list or cancel the daemon's jobs.
 
 Every command accepts ``--cache-dir`` (defaulting to ``$REPRO_CACHE_DIR`` or
 ``~/.cache/repro``) and ``--no-disk-cache``; ``--json`` switches the report
@@ -27,9 +33,10 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 try:
     import resource
@@ -166,6 +173,57 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("info", "clear", "prune"),
                        help="prune evicts artifacts persisted by stale "
                             "__version__s (GC for long grid campaigns)")
+
+    serve = commands.add_parser(
+        "serve", help="long-lived simulation daemon with a warm worker pool")
+    serve.add_argument("action", choices=("start", "stop", "status"))
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="daemon socket (default: $REPRO_SERVE_SOCKET or "
+                            "<cache-dir>/serve.sock)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="warm worker count (default: min(4, cpus))")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="max concurrently admitted jobs before submits "
+                            "are rejected queue-full (default: 32)")
+    serve.add_argument("--backend", choices=("auto", "process", "thread"),
+                       default="auto",
+                       help="worker pool backend (auto prefers processes)")
+    serve.add_argument("--detach", action="store_true",
+                       help="start: fork into the background (writes "
+                            "<socket>.pid)")
+    serve.add_argument("--no-drain", action="store_true",
+                       help="stop: cancel queued jobs instead of draining")
+
+    submit = commands.add_parser(
+        "submit", help="submit a catalog grid to a running serve daemon")
+    submit.add_argument("--grid", required=True,
+                        help="named grid from the catalog (see `repro grid "
+                             "--list`); expanded daemon-side")
+    submit.add_argument("--benchmarks", nargs="+", default=None,
+                        help="benchmark axis override")
+    submit.add_argument("--budget", type=int, default=None,
+                        help="dynamic-instruction budget override")
+    submit.add_argument("--input", default=None, help="benchmark input set")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (higher first)")
+    submit.add_argument("--namespace", default="",
+                        help="client namespace: isolates this client's row "
+                             "artifacts from other tenants of the daemon")
+    submit.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon socket")
+    submit.add_argument("--no-resume", action="store_true",
+                        help="recompute cells even when their row artifact "
+                             "is already stored")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream the job's rows to stdout as JSONL "
+                             "until it completes")
+
+    jobs = commands.add_parser(
+        "jobs", help="list or cancel jobs on a running serve daemon")
+    jobs.add_argument("--socket", default=None, metavar="PATH",
+                      help="daemon socket")
+    jobs.add_argument("--cancel", default=None, metavar="JOB_ID",
+                      help="cancel one job instead of listing")
     return parser
 
 
@@ -505,6 +563,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     frontend_metrics = _frontend_metrics(results, policy, session)
     grid_metrics = _grid_metrics(session, names, policy, args.budget,
                                  args.workers)
+    serve_metrics = _serve_metrics(names, policy, args.budget)
     truncation = ""
     if frontend_metrics["truncated_selections"]:
         truncation = (f" [TRUNCATED: {frontend_metrics['truncated_selections']} "
@@ -527,17 +586,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             + f"\ngrid          : {grid_metrics['specs_per_second']:,.0f} "
               f"specs/s planned, {grid_metrics['dedup_ratio']:.2f}x "
               f"shared-artifact dedup, resume hit rate "
-              f"{grid_metrics['resume_hit_rate'] * 100:.0f}%")
+              f"{grid_metrics['resume_hit_rate'] * 100:.0f}%"
+            + f"\nserve         : cold first row "
+              f"{serve_metrics['cold_first_row_seconds'] * 1000:.0f} ms, warm "
+              f"p50 {serve_metrics['warm_first_row_p50_seconds'] * 1000:.1f} ms"
+              f" / p99 {serve_metrics['warm_first_row_p99_seconds'] * 1000:.1f}"
+              f" ms ({serve_metrics['warm_speedup']:.0f}x), "
+              f"{serve_metrics['jobs_per_second_warm']:,.0f} jobs/s at "
+              f"{serve_metrics['warm_resumed_fraction'] * 100:.0f}% store hits")
     payload = {"bench": _table_to_dict(table),
                "results": [artifacts.report() for artifacts in results],
                "throughput": throughput,
                "trace": trace_metrics,
                "frontend": frontend_metrics,
-               "grid": grid_metrics}
+               "grid": grid_metrics,
+               "serve": serve_metrics}
     if args.record is not None:
         record_path = _write_bench_record(args, session, names, throughput,
                                           trace_metrics, frontend_metrics,
-                                          grid_metrics, before)
+                                          grid_metrics, serve_metrics, before)
         payload["record_path"] = record_path
         text += f"\nrecorded      : {record_path}"
     _emit(args, session, text, payload)
@@ -670,6 +737,91 @@ def _grid_metrics(session: Session, names: List[str],
     }
 
 
+#: Warm-latency samples of the serve measurement (p99 needs a population).
+_SERVE_WARM_SAMPLES = 20
+
+
+def _serve_metrics(names: List[str], policy: Optional[SelectionPolicy],
+                   budget: int) -> Dict[str, Any]:
+    """``repro serve`` daemon throughput: cold vs warm submit→first-row.
+
+    Boots a private daemon (own socket, own empty store) and submits the
+    same cell set repeatedly.  The *cold* submission computes everything;
+    every *warm* one must be answered entirely from the daemon's store —
+    zero recompilation, ``resumed_fraction`` 1.0 — so the p50/p99 warm
+    latencies and jobs/s measure pure serving overhead, and
+    ``warm_speedup`` (cold / warm p50) is the paper-repro claim that a warm
+    daemon beats a cold ``repro grid`` by a wide margin.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..grid.spec import GridCell
+    from ..serve.client import ServeClient
+    from ..serve.server import ServeServer
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+    server = ServeServer(tmp / "serve.sock", cache_dir=tmp / "cache",
+                         workers=2)
+    server.start()
+    try:
+        client = ServeClient(tmp / "serve.sock", retry_connect=10.0)
+        specs = [RunSpec(benchmark=names[0], budget=budget, policy=policy)]
+        if policy is not None:
+            specs.append(RunSpec(benchmark=names[0], budget=budget,
+                                 policy=None))
+        cells = [GridCell(index=index, point=(("config", str(index)),),
+                          spec=spec) for index, spec in enumerate(specs)]
+
+        def submit_and_stream() -> Tuple[float, float, int]:
+            start = time.perf_counter()
+            response = client.submit_cells(cells, label="bench",
+                                           resume=True)
+            first_row = None
+            resumed = 0
+            for row in client.stream(response["job_id"]):
+                if first_row is None:
+                    first_row = time.perf_counter() - start
+                resumed += int(row["resumed"])
+            return (time.perf_counter() - start,
+                    first_row if first_row is not None else 0.0, resumed)
+
+        cold_total, cold_first_row, _ = submit_and_stream()
+        warm_first_rows: List[float] = []
+        warm_resumed = 0
+        warm_start = time.perf_counter()
+        for _ in range(_SERVE_WARM_SAMPLES):
+            _, first_row, resumed = submit_and_stream()
+            warm_first_rows.append(first_row)
+            warm_resumed += resumed
+        warm_seconds = time.perf_counter() - warm_start
+        client.shutdown(drain=True)
+        client.close()
+    finally:
+        server.stop()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    ranked = sorted(warm_first_rows)
+    p50 = ranked[len(ranked) // 2]
+    p99 = ranked[min(len(ranked) - 1, int(len(ranked) * 0.99))]
+    return {
+        "workers": server.workers,
+        "backend": server.pool.backend if server.pool is not None else None,
+        "cells": len(cells),
+        "cold_first_row_seconds": cold_first_row,
+        "cold_total_seconds": cold_total,
+        "warm_jobs": _SERVE_WARM_SAMPLES,
+        "warm_first_row_p50_seconds": p50,
+        "warm_first_row_p99_seconds": p99,
+        "warm_speedup": cold_first_row / p50 if p50 > 0 else 0.0,
+        "jobs_per_second_warm":
+            _SERVE_WARM_SAMPLES / warm_seconds if warm_seconds else 0.0,
+        "warm_resumed_fraction":
+            warm_resumed / (len(cells) * _SERVE_WARM_SAMPLES),
+    }
+
+
 #: Passes of the front-end measurement; pass 1 runs against whatever block
 #: memo state the sweep left behind (cold in pool mode), later passes measure
 #: the steady state that repeated sweeps (Figure 5, domain selection) see.
@@ -734,6 +886,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
                         trace_metrics: Dict[str, Any],
                         frontend_metrics: Dict[str, Any],
                         grid_metrics: Dict[str, Any],
+                        serve_metrics: Dict[str, Any],
                         before: Optional[Dict[str, Any]]) -> str:
     """Write the ``BENCH_*.json`` simulator-throughput record.
 
@@ -754,6 +907,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         "trace": trace_metrics,
         "frontend": frontend_metrics,
         "grid": grid_metrics,
+        "serve": serve_metrics,
         # Cache context: with a warm artifact cache no simulation runs and
         # cycles_per_second measures cache-load speed, not the simulator.
         "session_stats": session.stats.as_dict(),
@@ -835,9 +989,172 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serve daemon front end ----------------------------------------------------------
+
+
+def _serve_socket(args: argparse.Namespace):
+    from ..serve import protocol
+    from pathlib import Path
+    if getattr(args, "socket", None):
+        return Path(args.socket)
+    return protocol.default_socket_path()
+
+
+def _serve_connect(args: argparse.Namespace, *, namespace: str = ""):
+    """A connected client, or ``None`` (after printing) if no daemon."""
+    from ..serve.client import ServeClient, ServeError
+    socket_path = _serve_socket(args)
+    try:
+        return ServeClient(socket_path, namespace=namespace)
+    except ServeError as error:
+        print(f"repro: error: no serve daemon at {socket_path} ({error})",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    from ..serve.server import DEFAULT_QUEUE_LIMIT, ServeServer
+
+    socket_path = _serve_socket(args)
+    pidfile = socket_path.with_name(socket_path.name + ".pid")
+
+    if args.action == "status":
+        client = _serve_connect(args)
+        if client is None:
+            return 1
+        status = client.status()
+        client.close()
+        queue = status["queue"]
+        text = "\n".join([
+            f"daemon        : pid {status['pid']}, protocol "
+            f"{status['protocol']}, version {status['version']}",
+            f"socket        : {status['socket']}",
+            f"cache dir     : {status['cache_dir'] or '(memory only)'}",
+            f"workers       : {status['workers']} ({status['backend']}), "
+            f"pids {status['worker_pids']}",
+            f"queue         : {queue['active']}/{queue['limit']} active"
+            + (" (draining)" if queue["draining"] else ""),
+            f"jobs          : {status['jobs']}",
+            f"uptime        : {status['uptime_seconds']:.1f}s"])
+        _emit(args, None, text, {"running": True, **status})
+        return 0
+
+    if args.action == "stop":
+        client = _serve_connect(args)
+        if client is None:
+            return 1
+        response = client.shutdown(drain=not args.no_drain)
+        client.close()
+        for _ in range(600):          # wait for the socket to disappear
+            if not socket_path.exists():
+                break
+            time.sleep(0.05)
+        pidfile.unlink(missing_ok=True)
+        _emit(args, None, f"daemon stopping ({response['state']})",
+              {"stopped": True, "state": response["state"]})
+        return 0
+
+    # start
+    if args.detach:
+        pid = os.fork()
+        if pid > 0:
+            for _ in range(600):      # wait for the daemon socket to appear
+                if socket_path.exists():
+                    print(f"serve daemon started (pid {pid}, "
+                          f"socket {socket_path})")
+                    return 0
+                time.sleep(0.05)
+            print("repro: error: daemon did not come up", file=sys.stderr)
+            return 1
+        os.setsid()
+        devnull = os.open(os.devnull, os.O_RDWR)
+        for fd in (0, 1, 2):
+            os.dup2(devnull, fd)
+        os.close(devnull)
+
+    server = ServeServer(
+        socket_path, cache_dir=_cache_dir(args), workers=args.workers,
+        queue_limit=args.queue_limit or DEFAULT_QUEUE_LIMIT,
+        backend=args.backend)
+
+    def _drain(signum, frame) -> None:
+        # SIGTERM/SIGINT: reject new submits, finish in-flight jobs, exit.
+        server.request_shutdown(drain=True)
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    server.start()
+    pidfile.write_text(f"{os.getpid()}\n", encoding="utf-8")
+    if not args.detach:
+        print(f"serve daemon listening on {socket_path} "
+              f"({server.pool.backend} x{server.workers}); "
+              f"SIGTERM drains and exits", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        pidfile.unlink(missing_ok=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _serve_connect(args, namespace=args.namespace)
+    if client is None:
+        return 1
+    try:
+        response = client.submit_named_grid(
+            args.grid, benchmarks=args.benchmarks, budget=args.budget,
+            input_name=args.input, priority=args.priority,
+            resume=not args.no_resume)
+        job_id = response["job_id"]
+        if not args.follow:
+            _emit(args, None,
+                  f"submitted {job_id}: {response['cells']} cells "
+                  f"({response['resumed']} resume-served) in "
+                  f"{response['stages']} stages, state {response['state']}",
+                  dict(response))
+            return 0
+        for row in client.stream(job_id):
+            print(json.dumps(row, sort_keys=True), flush=True)
+        job = client.poll(job_id)
+        print(f"{job_id}: {job['state']}, {job['rows']} rows, "
+              f"cache hit rate {job['cache_hit_rate'] * 100:.0f}%",
+              file=sys.stderr)
+        return 0
+    finally:
+        client.close()
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = _serve_connect(args)
+    if client is None:
+        return 1
+    try:
+        if args.cancel is not None:
+            job = client.cancel(args.cancel)
+            _emit(args, None, f"{job['id']}: {job['state']}", dict(job))
+            return 0
+        jobs = client.jobs()
+        if not jobs:
+            _emit(args, None, "no jobs", {"jobs": []})
+            return 0
+        lines = [f"{'id':10s} {'state':12s} {'prio':>4s} {'cells':>6s} "
+                 f"{'rows':>6s} {'hit%':>5s}  label"]
+        for job in jobs:
+            lines.append(
+                f"{job['id']:10s} {job['state']:12s} {job['priority']:4d} "
+                f"{job['cells']:6d} {job['rows']:6d} "
+                f"{job['cache_hit_rate'] * 100:5.0f}  {job['label']}")
+        _emit(args, None, "\n".join(lines), {"jobs": jobs})
+        return 0
+    finally:
+        client.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     from ..grid.spec import GridError
+    from ..serve.client import ServeError
     from ..uarch.config import ConfigError
     try:
         if args.command == "run":
@@ -848,10 +1165,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_grid(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
         return _cmd_cache(args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
+        # The interpreter still flushes sys.stdout at exit, which would
+        # re-raise into an "Exception ignored" traceback and exit code 120 —
+        # point the standard streams at devnull before that can happen.
+        try:
+            sys.stdout.flush()
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        try:
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        finally:
+            os.close(devnull)
         return 0
+    except ServeError as error:
+        print(f"repro: error [{error.code}]: {error}", file=sys.stderr)
+        return 3
     except (WorkloadError, SpecError, GridError, ConfigError) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

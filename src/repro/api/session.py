@@ -189,7 +189,9 @@ class Session:
     def __init__(self, *, store: Optional[ArtifactStore] = None,
                  cache_dir: Optional[os.PathLike] = None,
                  workers: Optional[int] = None,
-                 version: Optional[str] = None) -> None:
+                 version: Optional[str] = None,
+                 remote: Optional[os.PathLike] = None,
+                 namespace: str = "") -> None:
         if store is not None and cache_dir is not None:
             raise ValueError("pass either a store or a cache_dir, not both")
         if version is None:
@@ -202,6 +204,13 @@ class Session:
             else ArtifactStore(cache_dir, version=version)
         self._workers = workers
         self.stats = SessionStats()
+        # Remote mode: run/map/sweep/run_grid execute on a `repro serve`
+        # daemon (remote is its socket path; True means the default socket).
+        # The daemon's warm workers do the work; this session only absorbs
+        # the returned artifacts and accounting.
+        self._remote = remote
+        self._namespace = namespace
+        self._client = None
 
     @property
     def store(self) -> ArtifactStore:
@@ -214,6 +223,29 @@ class Session:
     @property
     def version(self) -> str:
         return self._version
+
+    @property
+    def remote(self) -> bool:
+        """True when this session executes on a ``repro serve`` daemon."""
+        return self._remote is not None
+
+    def close(self) -> None:
+        """Release the daemon connection and the store's activity lock.
+
+        The session stays usable afterwards — the connection and lock are
+        re-acquired on demand — so ``close()`` marks a quiet point, not the
+        end of life.
+        """
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self.store.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- keying / caching ----------------------------------------------------------
 
@@ -351,6 +383,8 @@ class Session:
 
     def run(self, spec: RunSpec) -> RunArtifacts:
         """Run (or reuse) the full stage graph for one spec."""
+        if self._remote is not None:
+            return self._remote_artifacts([spec], label=spec.label)[0]
         program = self.program(spec)
         profile_artifact = self._profile_artifact(spec)
         if spec.policy is None:
@@ -384,6 +418,8 @@ class Session:
         reused by later in-process runs.
         """
         specs = list(specs)
+        if self._remote is not None:
+            return self._remote_artifacts(specs, label="map")
         workers = self._resolve_workers(workers, len(specs))
         if workers <= 1 or len(specs) <= 1:
             return [self.run(spec) for spec in specs]
@@ -417,6 +453,10 @@ class Session:
         specs = list(specs)
         if not specs:
             return []
+        if self._remote is not None:
+            # The daemon plans artifact jobs through the same profile-identity
+            # grouping, so the sweep dedup happens in its warm workers.
+            return self._remote_artifacts(specs, label="sweep")
         groups: Dict[Tuple[str, str, int], List[int]] = {}
         for position, spec in enumerate(specs):
             key = (spec.source_id, spec.input_name, spec.budget)
@@ -457,10 +497,72 @@ class Session:
         cells whose terminal row artifact is already stored) and the same
         process-pool fan-out/accounting as :meth:`sweep`.  Returns a lazy
         iterator of :class:`~repro.grid.engine.GridRow`.
+
+        Remote sessions submit the (locally expanded and sharded) cells to
+        the daemon and stream rows back as its warm workers complete them —
+        in completion order, not plan order, since stages of one job
+        interleave with other clients' work on the daemon.
         """
+        if self._remote is not None:
+            return self._remote_grid(grid, shard=shard, resume=resume)
         from ..grid.engine import run_grid
         return run_grid(self, grid, shard=shard, resume=resume,
                         workers=workers)
+
+    # -- remote execution (repro serve) ---------------------------------------------
+
+    def _serve_client(self):
+        if self._client is None:
+            from ..serve.client import ServeClient
+            path = None if self._remote is True else self._remote
+            self._client = ServeClient(path, namespace=self._namespace)
+        return self._client
+
+    def _absorb_job_stats(self, job: Dict[str, Any]) -> None:
+        """Fold a finished daemon job's accounting into this session."""
+        stats = job.get("session_stats") or {}
+        if stats:
+            self.stats.merge(SessionStats(**stats))
+        cache = job.get("cache_stats") or {}
+        if cache:
+            self._merge_cache_stats(CacheStats(
+                memory_hits=cache.get("memory_hits", 0),
+                disk_hits=cache.get("disk_hits", 0),
+                misses=cache.get("misses", 0),
+                puts=cache.get("puts", 0)))
+
+    def _remote_artifacts(self, specs: List[RunSpec],
+                          label: str) -> List[RunArtifacts]:
+        """Run specs on the daemon; full artifacts come back pickled."""
+        import base64
+        import pickle
+
+        if not specs:
+            return []
+        client = self._serve_client()
+        response = client.submit_specs(specs, label=label)
+        rows, job = client.run_to_completion(response)
+        self._absorb_job_stats(job)
+        by_index = {row["index"]:
+                    pickle.loads(base64.b64decode(row["artifact_b64"]))
+                    for row in rows}
+        return [by_index[index] for index in range(len(specs))]
+
+    def _remote_grid(self, grid, *, shard, resume):
+        from ..grid.engine import GridRow
+        from ..grid.planner import GridPlan, plan_grid
+
+        plan = grid if isinstance(grid, GridPlan) else plan_grid(grid)
+        if shard is not None:
+            plan = plan.take_shard(*shard)
+        name = None if plan.grid is None else plan.grid.name
+        client = self._serve_client()
+        response = client.submit_cells(
+            plan.cells(), label=f"grid:{name}" if name else "cells",
+            resume=resume)
+        for row in client.stream(response["job_id"]):
+            yield GridRow.from_dict(row)
+        self._absorb_job_stats(client.poll(response["job_id"]))
 
     # -- pool plumbing shared by map() and sweep() ---------------------------------
 

@@ -31,6 +31,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from ..sim.trace import (
     TRACE_MAGIC,
     Trace,
@@ -134,6 +139,9 @@ class ArtifactStore:
                 self._cache_dir / _version_dirname(version)
         else:
             self._entry_dir = self._cache_dir
+        #: Shared flock on this version directory's ``.lock`` while the
+        #: store has written to disk; see :meth:`prune`.
+        self._activity_lock_fd: Optional[int] = None
         self.stats = CacheStats()
 
     @property
@@ -215,6 +223,7 @@ class ArtifactStore:
         # one cache directory) never observe a partial entry.
         try:
             self._entry_dir.mkdir(parents=True, exist_ok=True)
+            self._mark_active()
             fd, tmp_name = tempfile.mkstemp(dir=str(self._entry_dir),
                                             suffix=".tmp")
         except OSError:
@@ -244,6 +253,58 @@ class ArtifactStore:
             return True
         return self._cache_dir is not None and self._path(key).exists()
 
+    # -- cross-process activity locking ---------------------------------------------
+
+    def _mark_active(self) -> None:
+        """Hold a shared flock on this version directory's ``.lock``.
+
+        Taken at the first disk write and held until :meth:`close`: it is
+        the signal :meth:`prune` in *another* process (possibly another
+        ``repro.__version__``) checks before deleting this directory's
+        entries, closing the race where a prune sweeping "stale" versions
+        deletes an entry a live store just renamed into place.
+        """
+        if (self._activity_lock_fd is not None or fcntl is None
+                or self._entry_dir is None
+                or not self._entry_dir.name.startswith("v-")):
+            return
+        try:
+            lock_fd = os.open(str(self._entry_dir / ".lock"),
+                              os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            return
+        try:
+            fcntl.flock(lock_fd, fcntl.LOCK_SH)
+        except OSError:
+            os.close(lock_fd)
+            return
+        self._activity_lock_fd = lock_fd
+
+    def close(self) -> None:
+        """Release the activity lock; the store remains usable (the next
+        disk write re-acquires it)."""
+        if self._activity_lock_fd is not None:
+            os.close(self._activity_lock_fd)
+            self._activity_lock_fd = None
+
+    def _try_claim_for_prune(self, directory: Path) -> Optional[int]:
+        """Exclusively lock a stale version directory, or ``None`` if a live
+        store holds its shared activity lock.  ``-1`` means no lockfile
+        discipline applies (no fcntl, or a pre-lockfile directory)."""
+        if fcntl is None:
+            return -1
+        try:
+            lock_fd = os.open(str(directory / ".lock"),
+                              os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            return -1
+        try:
+            fcntl.flock(lock_fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(lock_fd)
+            return None
+        return lock_fd
+
     # -- maintenance ---------------------------------------------------------------
 
     def _disk_entries(self) -> Iterator[Path]:
@@ -266,6 +327,9 @@ class ArtifactStore:
             for path in self._disk_entries():
                 path.unlink(missing_ok=True)
                 removed += 1
+            if self._cache_dir is not None and self._cache_dir.is_dir():
+                for stray in self._cache_dir.glob("v-*/.lock"):
+                    stray.unlink(missing_ok=True)
             self._remove_empty_version_dirs()
         return removed
 
@@ -275,18 +339,42 @@ class ArtifactStore:
         Version-hashed keys mean those entries can never be served again by
         this build; pruning reclaims the space without touching the live
         set.  Returns ``(entries_removed, bytes_removed)``.
+
+        Concurrent-safe against live stores: a version directory whose
+        shared activity lock (see :meth:`_mark_active`) is held by any
+        process — e.g. a ``repro serve`` daemon of an older build still
+        writing entries — is skipped entirely rather than swept mid-write.
         """
         removed = 0
         freed = 0
-        for path in self._disk_entries():
-            if self._is_current(path):
-                continue
-            try:
-                freed += path.stat().st_size
-            except OSError:
-                pass
-            path.unlink(missing_ok=True)
-            removed += 1
+        skipped: set = set()
+        claimed: Dict[Path, int] = {}
+        try:
+            for path in self._disk_entries():
+                if self._is_current(path):
+                    continue
+                parent = path.parent
+                if parent in skipped:
+                    continue
+                if parent.name.startswith("v-") and parent not in claimed:
+                    lock_fd = self._try_claim_for_prune(parent)
+                    if lock_fd is None:
+                        skipped.add(parent)
+                        continue
+                    claimed[parent] = lock_fd
+                try:
+                    freed += path.stat().st_size
+                except OSError:
+                    pass
+                path.unlink(missing_ok=True)
+                removed += 1
+            for directory, lock_fd in claimed.items():
+                if lock_fd != -1:
+                    (directory / ".lock").unlink(missing_ok=True)
+        finally:
+            for lock_fd in claimed.values():
+                if lock_fd != -1:
+                    os.close(lock_fd)
         self._remove_empty_version_dirs()
         return removed, freed
 

@@ -23,7 +23,7 @@ See ``docs/architecture.md`` ("Grid engine") for the full design.
 """
 
 from .spec import Axis, GridCell, GridError, GridSpec
-from .planner import CompileGroup, GridPlan, PlanStage, plan_grid
+from .planner import CompileGroup, GridPlan, PlanStage, plan_cells, plan_grid
 from .engine import GridRow, cell_key, run_grid
 from .catalog import (
     GRID_CATALOG,
@@ -42,6 +42,7 @@ __all__ = [
     "CompileGroup",
     "GridPlan",
     "PlanStage",
+    "plan_cells",
     "plan_grid",
     "GridRow",
     "cell_key",

@@ -83,15 +83,44 @@ class GridRow:
             "resumed": self.resumed,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GridRow":
+        """Inverse of :meth:`as_dict` (the serve protocol's row transport).
 
-def cell_key(spec: RunSpec, version: str) -> str:
+        JSON has no NaN, so ``as_dict`` surfaced NaN metrics as ``null``;
+        they come back as NaN here, keeping round-tripped rows equal to the
+        originals field for field.
+        """
+        def metric(name: str) -> float:
+            value = data[name]
+            return float("nan") if value is None else value
+        return cls(index=data["index"], labels=dict(data["point"]),
+                   spec_hash=data["spec_hash"], benchmark=data["benchmark"],
+                   input=data["input"], budget=data["budget"],
+                   machine=data["machine"], machine_hash=data["machine_hash"],
+                   baseline_machine=data["baseline_machine"],
+                   coverage=metric("coverage"),
+                   baseline_ipc=metric("baseline_ipc"), ipc=metric("ipc"),
+                   speedup=metric("speedup"), cycles=data["cycles"],
+                   baseline_cycles=data["baseline_cycles"],
+                   templates=data["templates"],
+                   resumed=data.get("resumed", False))
+
+
+def cell_key(spec: RunSpec, version: str,
+             namespace: Optional[str] = None) -> str:
     """Store key of one cell's terminal row artifact.
 
     Grid-independent by design — only the run spec's identity and the
     package version participate — so two grids whose cells resolve to the
     same run share one row artifact, and ``resume`` works across grid
-    declarations.
+    declarations.  A ``repro serve`` client that declares a *namespace*
+    gets namespaced row artifacts (isolation between tenants sharing one
+    daemon store); the empty/default namespace keeps the shared key, so
+    daemon rows and ``repro grid --resume`` runs serve each other.
     """
+    if namespace:
+        return f"gridcell-{content_hash((version, spec.spec_hash, namespace))}"
     return f"gridcell-{content_hash((version, spec.spec_hash))}"
 
 

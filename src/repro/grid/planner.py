@@ -24,7 +24,7 @@ explicit, inspectable plan:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..api.keys import canonical_key
 from .spec import GridCell, GridError, GridSpec
@@ -68,9 +68,14 @@ class PlanStage:
 
 @dataclass
 class GridPlan:
-    """A grid expanded and grouped into shared-artifact stages."""
+    """A grid expanded and grouped into shared-artifact stages.
 
-    grid: GridSpec
+    ``grid`` is ``None`` for plans built from bare cells
+    (:func:`plan_cells`) — e.g. the serve daemon planning a client's
+    pre-expanded cell list.
+    """
+
+    grid: Optional[GridSpec]
     stages: List[PlanStage]
     shard: Optional[Tuple[int, int]] = None   # (index, count) when sharded
 
@@ -116,7 +121,7 @@ class GridPlan:
     def describe(self) -> Dict[str, Any]:
         """JSON-friendly plan summary."""
         return {
-            "grid": self.grid.name,
+            "grid": None if self.grid is None else self.grid.name,
             "cells": self.cell_count,
             "stages": self.stage_count,
             "frontend_compiles": self.frontend_compiles,
@@ -126,16 +131,23 @@ class GridPlan:
         }
 
 
-def plan_grid(grid: GridSpec) -> GridPlan:
-    """Expand ``grid`` and group its cells into shared-artifact stages.
+def plan_cells(cells: Iterable[GridCell],
+               grid: Optional[GridSpec] = None) -> GridPlan:
+    """Group already-expanded cells into shared-artifact stages.
+
+    The grouping behind :func:`plan_grid`, reusable for cell lists that
+    never came from a :class:`GridSpec` — the serve daemon plans client
+    submissions (pre-expanded on the client, where the grid's build
+    closures live) through exactly this path, so concurrent daemon jobs
+    get the same profile/compile dedup as local grid runs.
 
     Deterministic: stages appear in order of their first cell, compile
     groups in order of their first cell within the stage, and cells keep
-    their expansion order within each group.
+    their input order within each group.
     """
     stages: Dict[Tuple[str, str, int], PlanStage] = {}
     groups: Dict[Tuple[Tuple[str, str, int], Any], CompileGroup] = {}
-    for cell in grid.cells():
+    for cell in cells:
         spec = cell.spec
         stage_key = (spec.source_id, spec.input_name, spec.budget)
         stage = stages.get(stage_key)
@@ -149,3 +161,8 @@ def plan_grid(grid: GridSpec) -> GridPlan:
             stage.groups.append(group)
         group.cells.append(cell)
     return GridPlan(grid=grid, stages=list(stages.values()))
+
+
+def plan_grid(grid: GridSpec) -> GridPlan:
+    """Expand ``grid`` and group its cells into shared-artifact stages."""
+    return plan_cells(grid.cells(), grid)

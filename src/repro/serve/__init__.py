@@ -1,0 +1,50 @@
+"""``repro serve``: a long-lived simulation service.
+
+The serve package turns the one-shot pipeline into a daemon: a persistent
+process-pool of workers holding warm interned registries and artifact
+caches, accepting :class:`~repro.api.spec.RunSpec`/
+:class:`~repro.grid.spec.GridSpec` jobs over a local socket speaking
+newline-delimited JSON, and streaming :class:`~repro.grid.engine.GridRow`\\ s
+back to clients as cells complete.
+
+Modules:
+
+* :mod:`repro.serve.protocol` — message framing, the versioned handshake,
+  job descriptors and structured error codes;
+* :mod:`repro.serve.queue` — the bounded priority job queue (admission
+  control, backpressure, cancellation, retry/quarantine bookkeeping);
+* :mod:`repro.serve.pool` — the warm worker pool (process-backed, with a
+  thread fallback for restricted environments);
+* :mod:`repro.serve.server` — the daemon: socket front end, scheduler,
+  graceful drain;
+* :mod:`repro.serve.client` — the thin client library behind
+  ``repro submit`` / ``repro jobs`` and ``Session(remote=...)``.
+
+Imports are lazy so ``import repro.serve`` stays cheap for clients that
+only need the protocol constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "default_socket_path",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in ("PROTOCOL_VERSION", "default_socket_path"):
+        from . import protocol
+        return getattr(protocol, name)
+    if name in ("ServeClient", "ServeError"):
+        from . import client
+        return getattr(client, name)
+    if name == "ServeServer":
+        from .server import ServeServer
+        return ServeServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

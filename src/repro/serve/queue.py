@@ -1,0 +1,326 @@
+"""The daemon's job queue: bounded admission, priorities, explicit backpressure.
+
+A :class:`JobRecord` is one submitted ``RunSpec``/``GridSpec`` job, already
+planned into shared-artifact *stages* (lists of
+:class:`~repro.grid.spec.GridCell`); the scheduler dispatches one stage at a
+time to one warm worker, and each completed cell appends one row to the
+record, waking any streaming clients.
+
+The :class:`JobQueue` enforces **admission control**: it holds at most
+``limit`` non-terminal jobs, and a submit beyond that raises
+:class:`AdmissionError` — which the server surfaces to the client as a
+structured ``queue-full`` rejection.  Backpressure is therefore explicit and
+immediate: the queue never blocks a submitter and never silently drops a
+job, so a misbehaving client cannot deadlock the daemon.  A draining queue
+(SIGTERM / ``shutdown``) rejects every submit with ``draining`` while
+in-flight jobs run to completion.
+
+Scheduling order is ``(-priority, submission sequence)``: strictly higher
+priority first, FIFO within a priority.  Stages of distinct jobs interleave
+freely across the pool; stages of one job run in plan order.
+
+One lock-and-condition pair (:attr:`JobQueue.cond`) covers every record —
+scheduler, pool callbacks and per-connection streaming threads all
+synchronize on it, which is simple and ample at daemon scale (tens of jobs,
+not millions; the millions are the *cells* inside the jobs).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..grid.spec import GridCell
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    QUARANTINED = "quarantined"
+
+
+#: States from which a job can never leave.
+TERMINAL_STATES = frozenset(
+    (JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+     JobState.QUARANTINED))
+
+#: Stage lifecycle inside a running job.
+_PENDING, _RUNNING, _DONE = "pending", "running", "done"
+
+
+class AdmissionError(Exception):
+    """A submit the queue rejected; ``code`` is a protocol error code."""
+
+    def __init__(self, code: str, message: str, **details: Any) -> None:
+        super().__init__(message)
+        self.code = code
+        self.details = details
+
+
+@dataclass
+class JobRecord:
+    """One admitted job: its plan, its accumulated rows, its accounting."""
+
+    id: str
+    kind: str                       # "grid" | "cells" | "artifacts"
+    namespace: str
+    priority: int
+    seq: int                        # admission order, the FIFO tiebreak
+    stages: List[List[GridCell]]
+    label: str = ""
+    state: JobState = JobState.QUEUED
+    error: Optional[Dict[str, Any]] = None
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    stage_state: List[str] = field(default_factory=list)
+    stage_attempts: List[int] = field(default_factory=list)
+    #: Worker accounting folded in per completed stage.
+    session_stats: Dict[str, Any] = field(default_factory=dict)
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.stage_state:
+            self.stage_state = [_PENDING] * len(self.stages)
+        if not self.stage_attempts:
+            self.stage_attempts = [0] * len(self.stages)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def cell_count(self) -> int:
+        return sum(len(stage) for stage in self.stages)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = (self.cache_stats.get("memory_hits", 0)
+                + self.cache_stats.get("disk_hits", 0))
+        lookups = hits + self.cache_stats.get("misses", 0)
+        return hits / lookups if lookups else 0.0
+
+    def merge_stats(self, session_stats: Dict[str, Any],
+                    cache_stats: Dict[str, Any]) -> None:
+        for key, value in session_stats.items():
+            self.session_stats[key] = self.session_stats.get(key, 0) + value
+        for key, value in cache_stats.items():
+            self.cache_stats[key] = self.cache_stats.get(key, 0) + value
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly job snapshot (``poll``/``jobs`` responses)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "label": self.label,
+            "namespace": self.namespace,
+            "priority": self.priority,
+            "state": self.state.value,
+            "error": self.error,
+            "cells": self.cell_count,
+            "rows": len(self.rows),
+            "stages": len(self.stages),
+            "stages_done": sum(1 for s in self.stage_state if s == _DONE),
+            "attempts": max(self.stage_attempts, default=0),
+            "session_stats": dict(self.session_stats),
+            "cache_stats": dict(self.cache_stats),
+            "cache_hit_rate": self.cache_hit_rate,
+            "queued_seconds": (self.started_at or time.monotonic())
+                              - self.submitted_at,
+            "wall_seconds": None if self.started_at is None
+                            else (self.finished_at or time.monotonic())
+                                 - self.started_at,
+        }
+
+
+class JobQueue:
+    """Bounded, priority-ordered registry of jobs (live and terminal)."""
+
+    def __init__(self, limit: int = 32) -> None:
+        if limit <= 0:
+            raise ValueError(f"queue limit must be positive, got {limit}")
+        self.limit = limit
+        self.cond = threading.Condition()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._seq = 0
+        self._draining = False
+
+    # -- admission -----------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Reject all future submits; in-flight jobs keep running."""
+        with self.cond:
+            self._draining = True
+            self.cond.notify_all()
+
+    def active_count(self) -> int:
+        with self.cond:
+            return sum(1 for job in self._jobs.values() if not job.terminal)
+
+    def submit(self, kind: str, namespace: str, priority: int,
+               stages: List[List[GridCell]], *, label: str = "",
+               rows: Optional[List[Dict[str, Any]]] = None) -> JobRecord:
+        """Admit one job or raise :class:`AdmissionError` (never blocks).
+
+        ``rows`` pre-populates the record — resume-served rows the server
+        answered from the store before planning the remainder.
+        """
+        with self.cond:
+            if self._draining:
+                raise AdmissionError(
+                    "draining", "daemon is draining; submit rejected")
+            active = sum(1 for job in self._jobs.values() if not job.terminal)
+            if active >= self.limit:
+                raise AdmissionError(
+                    "queue-full",
+                    f"job queue is full ({active}/{self.limit} jobs); "
+                    f"retry after a job completes",
+                    active=active, limit=self.limit)
+            self._seq += 1
+            job = JobRecord(id=f"job-{self._seq:04d}", kind=kind,
+                            namespace=namespace, priority=priority,
+                            seq=self._seq, stages=stages, label=label,
+                            rows=list(rows) if rows else [])
+            if not stages:
+                # A fully resume-served (or empty) job is born terminal.
+                job.state = JobState.DONE
+                job.started_at = job.finished_at = time.monotonic()
+            self._jobs[job.id] = job
+            self.cond.notify_all()
+            return job
+
+    # -- lookup --------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self.cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        with self.cond:
+            return sorted(self._jobs.values(), key=lambda job: job.seq)
+
+    def all_terminal(self) -> bool:
+        with self.cond:
+            return all(job.terminal for job in self._jobs.values())
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def next_stage(self) -> Optional[Tuple[JobRecord, int]]:
+        """Claim the next runnable ``(job, stage index)``, if any.
+
+        Order: priority descending, then admission order.  The claimed
+        stage is marked running; the caller must finish it via
+        :meth:`stage_done` / :meth:`stage_failed` / :meth:`worker_died`.
+        """
+        with self.cond:
+            runnable = sorted(
+                (job for job in self._jobs.values()
+                 if job.state in (JobState.QUEUED, JobState.RUNNING)
+                 and _PENDING in job.stage_state),
+                key=lambda job: (-job.priority, job.seq))
+            for job in runnable:
+                index = job.stage_state.index(_PENDING)
+                job.stage_state[index] = _RUNNING
+                job.stage_attempts[index] += 1
+                if job.state is JobState.QUEUED:
+                    job.state = JobState.RUNNING
+                    job.started_at = time.monotonic()
+                return job, index
+            return None
+
+    def release_stage(self, job: JobRecord, index: int) -> None:
+        """Un-claim a stage the scheduler could not dispatch after all
+        (pool race): back to pending, attempt uncounted."""
+        with self.cond:
+            if job.terminal:
+                return
+            job.stage_state[index] = _PENDING
+            job.stage_attempts[index] = max(0, job.stage_attempts[index] - 1)
+            self.cond.notify_all()
+
+    # -- completion callbacks (invoked by the scheduler) ----------------------------
+
+    def append_row(self, job: JobRecord, row: Dict[str, Any]) -> None:
+        with self.cond:
+            if job.terminal:
+                return  # late row from a cancelled job's in-flight stage
+            job.rows.append(row)
+            self.cond.notify_all()
+
+    def stage_done(self, job: JobRecord, index: int,
+                   session_stats: Dict[str, Any],
+                   cache_stats: Dict[str, Any]) -> None:
+        with self.cond:
+            job.merge_stats(session_stats, cache_stats)
+            if job.terminal:
+                return  # stage of a cancelled job ran to completion
+            job.stage_state[index] = _DONE
+            if all(state == _DONE for state in job.stage_state):
+                job.state = JobState.DONE
+                job.finished_at = time.monotonic()
+            self.cond.notify_all()
+
+    def stage_failed(self, job: JobRecord, index: int, message: str) -> None:
+        """A stage raised in the worker: the whole job fails (no retry —
+        a deterministic pipeline raises deterministically)."""
+        with self.cond:
+            if job.terminal:
+                return
+            job.stage_state[index] = _DONE
+            job.state = JobState.FAILED
+            job.error = {"code": "failed", "message": message, "stage": index}
+            job.finished_at = time.monotonic()
+            self.cond.notify_all()
+
+    def worker_died(self, job: JobRecord, index: int) -> None:
+        """The worker running this stage died (killed, OOM).
+
+        First death: the stage is re-queued for one retry on a fresh
+        worker.  Second death: the job is quarantined — a cell that kills
+        two workers is poison and must not take the daemon down with
+        endless respawns.
+        """
+        with self.cond:
+            if job.terminal:
+                return
+            if job.stage_attempts[index] <= 1:
+                job.stage_state[index] = _PENDING
+            else:
+                job.stage_state[index] = _DONE
+                job.state = JobState.QUARANTINED
+                job.error = {"code": "quarantined",
+                             "message": f"stage {index} killed its worker "
+                                        f"twice; job quarantined",
+                             "stage": index,
+                             "attempts": job.stage_attempts[index]}
+                job.finished_at = time.monotonic()
+            self.cond.notify_all()
+
+    def cancel(self, job_id: str) -> Optional[JobRecord]:
+        """Cancel a job; returns the record, or ``None`` if unknown.
+
+        Cancelling a terminal job is a no-op.  A running job's in-flight
+        stage is left to finish in its worker (its late rows are dropped);
+        pending stages never start.
+        """
+        with self.cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if not job.terminal:
+                job.state = JobState.CANCELLED
+                job.error = {"code": "cancelled", "message": "cancelled"}
+                job.finished_at = time.monotonic()
+                self.cond.notify_all()
+            return job

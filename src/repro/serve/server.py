@@ -1,0 +1,514 @@
+"""The ``repro serve`` daemon: socket front end, scheduler, graceful drain.
+
+One :class:`ServeServer` owns four moving parts:
+
+* a Unix-domain **listener** accepting NDJSON connections
+  (:mod:`repro.serve.protocol`), one handler thread per client;
+* the bounded **job queue** (:mod:`repro.serve.queue`) — admission control
+  and priorities;
+* the warm **worker pool** (:mod:`repro.serve.pool`) — persistent sessions
+  with hot registries and caches;
+* a **scheduler** thread marrying the two: whenever a worker is idle it
+  claims the highest-priority pending stage and dispatches it.  Stages are
+  :func:`~repro.grid.planner.plan_cells` shared-artifact groups, so
+  concurrent clients submitting overlapping work dedup against each other
+  through the shared store — the second client's cells are store hits, not
+  recomputations.
+
+Rows stream back live: each completed cell appends one row to its job
+record and wakes every connection streaming that job.  A worker killed
+mid-stage is respawned, its stage retried once, then the job is
+quarantined.  ``SIGTERM`` (or the ``shutdown`` op) triggers a **graceful
+drain**: new submits are rejected with a structured ``draining`` error,
+in-flight jobs run to completion, then the daemon exits.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .. import __version__
+from ..api.store import MISS
+from ..grid.engine import _row, cell_key
+from ..grid.planner import plan_cells
+from ..grid.spec import GridCell, GridError
+from ..workloads.base import WorkloadError
+from . import protocol
+from .pool import PoolCallbacks, PoolTask, TaskKey, make_pool
+from .queue import AdmissionError, JobQueue, JobRecord
+
+#: Default bound on concurrently admitted (non-terminal) jobs.
+DEFAULT_QUEUE_LIMIT = 32
+
+#: Scheduler idle poll (also the drain-completion check cadence).
+_SCHEDULE_INTERVAL_SECONDS = 0.05
+
+
+class _BadRequest(ValueError):
+    """Internal: maps to a ``bad-request`` protocol error."""
+
+
+class ServeServer:
+    """The daemon.  ``start()`` spins the threads; ``serve_forever()``
+    blocks until a shutdown is requested and the drain completes."""
+
+    def __init__(self, socket_path: Optional[os.PathLike] = None, *,
+                 cache_dir: Optional[os.PathLike] = None,
+                 workers: Optional[int] = None,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 version: Optional[str] = None,
+                 backend: str = "auto") -> None:
+        self.socket_path = Path(socket_path) if socket_path is not None \
+            else protocol.default_socket_path()
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.version = version if version is not None else __version__
+        self.workers = workers if workers is not None \
+            else min(4, os.cpu_count() or 1)
+        self.backend = backend
+        self.queue = JobQueue(queue_limit)
+        self.pool = None
+        self.started_at: Optional[float] = None
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._streams: Set[protocol.MessageStream] = set()
+        self._streams_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._draining = False
+        self._drain_lock = threading.Lock()
+        #: (job id) -> {cell index -> GridCell} for row reconstruction.
+        self._cells: Dict[str, Dict[int, GridCell]] = {}
+        #: (job id) -> cell indices already delivered (dedups the replay a
+        #: retried stage performs after its first worker died mid-stream).
+        self._delivered: Dict[str, Set[int]] = {}
+        self._probe_store = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise OSError("repro serve needs Unix domain sockets")
+        self.started_at = time.monotonic()
+        self.pool = make_pool(
+            self.backend, self.workers, self.cache_dir, self.version,
+            PoolCallbacks(on_row=self._on_row,
+                          on_stage_done=self._on_stage_done,
+                          on_stage_failed=self._on_stage_failed,
+                          on_worker_death=self._on_worker_death))
+        if self.pool.backend == "thread":
+            # Thread workers share one in-process session; probing its
+            # store sees memory entries even without a disk layer.
+            self._probe_store = self.pool.session.store
+        else:
+            from ..api.session import Session
+            self._probe_store = Session(cache_dir=self.cache_dir,
+                                        version=self.version).store
+        self._bind()
+        self._spawn(self._accept_loop, "repro-serve-accept")
+        self._spawn(self._scheduler_loop, "repro-serve-scheduler")
+
+    def _bind(self) -> None:
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(str(self.socket_path))
+        except OSError:
+            # A stale socket file from a dead daemon: connect-probe it.
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.connect(str(self.socket_path))
+            except OSError:
+                self.socket_path.unlink(missing_ok=True)
+                listener.bind(str(self.socket_path))
+            else:
+                probe.close()
+                listener.close()
+                raise OSError(f"a daemon is already listening on "
+                              f"{self.socket_path}")
+            finally:
+                probe.close()
+        listener.listen(16)
+        self._listener = listener
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def serve_forever(self) -> None:
+        """Block until shutdown (signal, ``shutdown`` op or :meth:`stop`)."""
+        self._stop_event.wait()
+        self._teardown()
+
+    def request_shutdown(self, *, drain: bool = True) -> None:
+        """Begin shutdown; with ``drain`` in-flight jobs finish first.
+
+        Safe from any thread and from signal handlers.  New submissions are
+        rejected immediately either way; without ``drain``, queued and
+        running jobs are cancelled.
+        """
+        with self._drain_lock:
+            self._draining = True
+        self.queue.begin_drain()
+        if not drain:
+            for job in self.queue.jobs():
+                self.queue.cancel(job.id)
+        # The scheduler loop observes the drained queue and sets the stop
+        # event once every job is terminal.
+
+    def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Synchronous shutdown helper for embedding (tests, bench)."""
+        self.request_shutdown(drain=drain)
+        deadline = time.monotonic() + timeout
+        while not self._stop_event.is_set() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        self._stop_event.set()
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        self.socket_path.unlink(missing_ok=True)
+        with self._streams_lock:
+            streams = list(self._streams)
+        for stream in streams:
+            stream.close()
+        if self.pool is not None:
+            self.pool.stop()
+
+    # -- scheduler -----------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        queue = self.queue
+        while not self._stop_event.is_set():
+            with self._drain_lock:
+                draining = self._draining
+            if draining and queue.all_terminal():
+                self._stop_event.set()
+                self._teardown()
+                return
+            dispatched = False
+            if self.pool.has_capacity():
+                claim = queue.next_stage()
+                if claim is not None:
+                    job, index = claim
+                    task = PoolTask(
+                        key=(job.id, index, job.stage_attempts[index]),
+                        kind="artifacts" if job.kind == "artifacts"
+                             else "cells",
+                        namespace=job.namespace,
+                        cells=tuple((cell.index, cell.spec)
+                                    for cell in job.stages[index]))
+                    if self.pool.dispatch(task):
+                        dispatched = True
+                    else:
+                        queue.release_stage(job, index)
+            if not dispatched:
+                with queue.cond:
+                    queue.cond.wait(timeout=_SCHEDULE_INTERVAL_SECONDS)
+
+    # -- pool callbacks ------------------------------------------------------------
+
+    def _on_row(self, key: TaskKey, index: int,
+                payload: Dict[str, Any]) -> None:
+        job_id = key[0]
+        job = self.queue.get(job_id)
+        if job is None or job.terminal:
+            return
+        delivered = self._delivered.setdefault(job_id, set())
+        with self.queue.cond:
+            if index in delivered:
+                return  # replay from a retried stage
+            delivered.add(index)
+        if job.kind == "artifacts":
+            row = payload
+        else:
+            cell = self._cells[job_id][index]
+            row = _row(cell, payload, resumed=False).as_dict()
+        self.queue.append_row(job, row)
+
+    def _on_stage_done(self, key: TaskKey, session_stats: Dict[str, Any],
+                       cache_stats: Dict[str, Any]) -> None:
+        job = self.queue.get(key[0])
+        if job is not None:
+            self.queue.stage_done(job, key[1], session_stats, cache_stats)
+
+    def _on_stage_failed(self, key: TaskKey, message: str) -> None:
+        job = self.queue.get(key[0])
+        if job is not None:
+            self.queue.stage_failed(job, key[1], message)
+
+    def _on_worker_death(self, key: TaskKey) -> None:
+        job = self.queue.get(key[0])
+        if job is not None:
+            self.queue.worker_died(job, key[1])
+
+    # -- connection handling -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            stream = protocol.MessageStream(conn)
+            with self._streams_lock:
+                self._streams.add(stream)
+            self._spawn(lambda s=stream: self._handle_connection(s),
+                        "repro-serve-conn")
+
+    def _handle_connection(self, stream: protocol.MessageStream) -> None:
+        try:
+            namespace = self._handshake(stream)
+            if namespace is None:
+                return
+            while True:
+                try:
+                    message = stream.recv()
+                except protocol.ProtocolError as error:
+                    stream.send(protocol.error_response(
+                        "?", "bad-request", str(error)))
+                    return
+                if message is None:
+                    return
+                if not self._handle_request(stream, message, namespace):
+                    return
+        except (OSError, ValueError):
+            pass  # client went away mid-message
+        finally:
+            stream.close()
+            with self._streams_lock:
+                self._streams.discard(stream)
+
+    def _handshake(self, stream: protocol.MessageStream) -> Optional[str]:
+        message = stream.recv()
+        if message is None:
+            return None
+        if message.get("op") != "hello":
+            stream.send(protocol.error_response(
+                str(message.get("op")), "bad-request",
+                "the first message must be a hello handshake"))
+            return None
+        if message.get("protocol") != protocol.PROTOCOL_VERSION:
+            stream.send(protocol.error_response(
+                "hello", "protocol-mismatch",
+                f"server speaks protocol {protocol.PROTOCOL_VERSION}, "
+                f"client sent {message.get('protocol')!r}",
+                server_protocol=protocol.PROTOCOL_VERSION))
+            return None
+        namespace = str(message.get("namespace") or "")
+        stream.send(protocol.ok_response(
+            "hello", protocol=protocol.PROTOCOL_VERSION,
+            server_version=self.version, pid=os.getpid(),
+            namespace=namespace))
+        return namespace
+
+    def _handle_request(self, stream: protocol.MessageStream,
+                        message: Dict[str, Any], namespace: str) -> bool:
+        """Dispatch one request; returns False to close the connection."""
+        op = str(message.get("op"))
+        try:
+            if op == "submit":
+                stream.send(self._handle_submit(message, namespace))
+            elif op == "poll":
+                stream.send(self._job_response(op, message))
+            elif op == "jobs":
+                stream.send(protocol.ok_response(
+                    "jobs", jobs=[job.describe()
+                                  for job in self.queue.jobs()]))
+            elif op == "cancel":
+                job = self.queue.cancel(str(message.get("job_id")))
+                if job is None:
+                    stream.send(protocol.error_response(
+                        op, "unknown-job",
+                        f"unknown job {message.get('job_id')!r}"))
+                else:
+                    stream.send(protocol.ok_response(op, job=job.describe()))
+            elif op == "stream":
+                self._handle_stream(stream, message)
+            elif op == "status":
+                stream.send(protocol.ok_response(op, server=self._status()))
+            elif op == "shutdown":
+                drain = bool(message.get("drain", True))
+                stream.send(protocol.ok_response(
+                    op, state="draining" if drain else "stopping"))
+                self.request_shutdown(drain=drain)
+                return False
+            else:
+                stream.send(protocol.error_response(
+                    op, "bad-request", f"unknown op {op!r}"))
+        except _BadRequest as error:
+            stream.send(protocol.error_response(op, "bad-request", str(error)))
+        except AdmissionError as error:
+            stream.send(protocol.error_response(op, error.code, str(error),
+                                                **error.details))
+        except Exception as error:  # noqa: BLE001 - must answer the client
+            stream.send(protocol.error_response(
+                op, "internal", f"{type(error).__name__}: {error}"))
+        return True
+
+    # -- request implementations ----------------------------------------------------
+
+    def _job_response(self, op: str, message: Dict[str, Any]
+                      ) -> Dict[str, Any]:
+        job = self.queue.get(str(message.get("job_id")))
+        if job is None:
+            return protocol.error_response(
+                op, "unknown-job", f"unknown job {message.get('job_id')!r}")
+        return protocol.ok_response(op, job=job.describe())
+
+    def _handle_submit(self, message: Dict[str, Any],
+                       namespace: str) -> Dict[str, Any]:
+        descriptor = message.get("job")
+        if not isinstance(descriptor, dict):
+            raise _BadRequest("submit needs a job descriptor object")
+        priority = int(message.get("priority", 0))
+        resume = bool(message.get("resume", False))
+        kind, cells, label = self._decode_job(descriptor)
+
+        served: List[Dict[str, Any]] = []
+        if resume and kind != "artifacts":
+            remaining: List[GridCell] = []
+            for cell in cells:
+                payload = self._probe_store.get(
+                    cell_key(cell.spec, self.version, namespace=namespace))
+                if payload is not MISS:
+                    served.append(_row(cell, payload, resumed=True).as_dict())
+                else:
+                    remaining.append(cell)
+            planned = remaining
+        else:
+            planned = cells
+        plan = plan_cells(planned)
+        stages = [stage.cells for stage in plan.stages]
+        job = self.queue.submit(kind=kind, namespace=namespace,
+                                priority=priority, stages=stages,
+                                label=label, rows=served)
+        self._cells[job.id] = {cell.index: cell for cell in cells}
+        self._delivered[job.id] = {row["index"] for row in served}
+        return protocol.ok_response(
+            "submit", job_id=job.id, state=job.state.value,
+            cells=len(cells), resumed=len(served),
+            stages=len(stages), queue_depth=self.queue.active_count())
+
+    def _decode_job(self, descriptor: Dict[str, Any]
+                    ) -> Tuple[str, List[GridCell], str]:
+        kind = descriptor.get("kind")
+        if kind == "grid":
+            return self._decode_grid_job(descriptor)
+        if kind == "cells":
+            triples = self._unpickle(descriptor, "cells_b64")
+            try:
+                cells = [GridCell(index=int(index),
+                                  point=tuple(point or ()), spec=spec)
+                         for index, point, spec in triples]
+            except (TypeError, ValueError) as error:
+                raise _BadRequest(f"malformed cells payload: {error}") \
+                    from None
+            return "cells", cells, str(descriptor.get("label") or "cells")
+        if kind == "artifacts":
+            specs = self._unpickle(descriptor, "specs_b64")
+            if not isinstance(specs, (list, tuple)):
+                raise _BadRequest("artifacts payload must be a RunSpec list")
+            cells = [GridCell(index=index, point=(), spec=spec)
+                     for index, spec in enumerate(specs)]
+            return "artifacts", cells, \
+                str(descriptor.get("label") or "artifacts")
+        raise _BadRequest(f"unknown job kind {kind!r}")
+
+    def _decode_grid_job(self, descriptor: Dict[str, Any]
+                         ) -> Tuple[str, List[GridCell], str]:
+        from ..grid.catalog import get_grid
+        from ..workloads import QUICK_BENCHMARKS
+
+        name = descriptor.get("grid")
+        if not name:
+            raise _BadRequest("grid jobs need a 'grid' catalog name")
+        try:
+            definition = get_grid(str(name))
+            benchmarks = descriptor.get("benchmarks") \
+                or definition.default_benchmarks or QUICK_BENCHMARKS
+            budget = int(descriptor.get("budget")
+                         or definition.default_budget)
+            grid = definition.build(
+                benchmarks=list(benchmarks), budget=budget,
+                input_name=str(descriptor.get("input") or "reference"))
+            cells = list(grid.cells())
+        except (GridError, WorkloadError, ValueError) as error:
+            raise _BadRequest(str(error)) from None
+        return "grid", cells, f"grid:{name}"
+
+    @staticmethod
+    def _unpickle(descriptor: Dict[str, Any], field: str) -> Any:
+        blob = descriptor.get(field)
+        if not isinstance(blob, str):
+            raise _BadRequest(f"job descriptor needs {field}")
+        try:
+            return pickle.loads(base64.b64decode(blob.encode("ascii")))
+        except Exception as error:  # noqa: BLE001 - any unpickling failure
+            raise _BadRequest(f"undecodable {field}: {error}") from None
+
+    def _handle_stream(self, stream: protocol.MessageStream,
+                       message: Dict[str, Any]) -> None:
+        job = self.queue.get(str(message.get("job_id")))
+        if job is None:
+            stream.send(protocol.error_response(
+                "stream", "unknown-job",
+                f"unknown job {message.get('job_id')!r}"))
+            return
+        cursor = max(0, int(message.get("from", 0)))
+        while True:
+            with self.queue.cond:
+                while len(job.rows) <= cursor and not job.terminal:
+                    if self._stop_event.is_set():
+                        break
+                    self.queue.cond.wait(timeout=0.5)
+                batch = list(job.rows[cursor:])
+                terminal = job.terminal
+                stopping = self._stop_event.is_set()
+            for row in batch:
+                stream.send(protocol.ok_response(
+                    "row", job_id=job.id, seq=cursor, row=row))
+                cursor += 1
+            if terminal and cursor >= len(job.rows):
+                stream.send(protocol.ok_response(
+                    "end", job_id=job.id, state=job.state.value,
+                    rows=cursor, job=job.describe()))
+                return
+            if stopping:
+                stream.send(protocol.error_response(
+                    "stream", "draining", "daemon stopped mid-stream"))
+                return
+
+    def _status(self) -> Dict[str, Any]:
+        jobs = self.queue.jobs()
+        by_state: Dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
+        return {
+            "pid": os.getpid(),
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": self.version,
+            "socket": str(self.socket_path),
+            "cache_dir": self.cache_dir,
+            "uptime_seconds": 0.0 if self.started_at is None
+                              else time.monotonic() - self.started_at,
+            "backend": self.pool.backend,
+            "workers": getattr(self.pool, "size", 0),
+            "worker_pids": self.pool.worker_pids(),
+            "busy_worker_pids": self.pool.busy_pids(),
+            "queue": {"limit": self.queue.limit,
+                      "active": self.queue.active_count(),
+                      "draining": self.queue.draining},
+            "jobs": {"total": len(jobs), **by_state},
+        }

@@ -14,7 +14,7 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 import check_links  # noqa: E402
 
 
-REQUIRED_DOCS = ("architecture.md", "api.md", "figures.md")
+REQUIRED_DOCS = ("architecture.md", "api.md", "figures.md", "serve.md")
 
 
 @pytest.mark.parametrize("name", REQUIRED_DOCS)
@@ -35,7 +35,8 @@ def test_readme_matches_cli_surface():
     from repro.api.cli import _build_parser
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     parser = _build_parser()
-    subcommands = {"run", "figure", "grid", "bench", "cache"}
+    subcommands = {"run", "figure", "grid", "bench", "cache",
+                   "serve", "submit", "jobs"}
     for name in subcommands:
         assert f"repro {name}" in readme, f"README does not show `repro {name}`"
     # Every `repro <word>` the README shows must be a real sub-command.

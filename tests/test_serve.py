@@ -1,0 +1,565 @@
+"""The ``repro serve`` daemon: protocol, queue, pool, server, client, CLI."""
+
+import io
+import json
+import os
+import signal
+import socket as socket_module
+import threading
+import time
+
+import pytest
+
+from repro.api import RunSpec, Session
+from repro.api.store import MISS, ArtifactStore
+from repro.grid import Axis, GridSpec, cell_key, plan_cells
+from repro.grid.engine import GridRow
+from repro.grid.spec import GridCell
+from repro.minigraph.policies import DEFAULT_POLICY
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.pool import PoolCallbacks, PoolTask, ProcessWorkerPool
+from repro.serve.queue import AdmissionError, JobQueue, JobState
+from repro.serve.server import ServeServer
+
+BUDGET = 1_200
+
+
+def _mini_grid(benchmarks=("bitcount",), budget=BUDGET, name="serve-test"):
+    axes = (Axis("benchmark", tuple(benchmarks)),
+            Axis("config", ("minigraph", "baseline")))
+
+    def build(point):
+        policy = DEFAULT_POLICY if point["config"] == "minigraph" else None
+        return RunSpec(benchmark=point["benchmark"], budget=budget,
+                       policy=policy)
+
+    return GridSpec(name=name, axes=axes, build=build, title="serve test")
+
+
+def _stage(spec=None):
+    spec = spec or RunSpec(benchmark="bitcount", budget=BUDGET)
+    return [GridCell(index=0, point=(("benchmark", "bitcount"),), spec=spec)]
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A started daemon on a private socket + store; stopped afterwards."""
+    server = ServeServer(tmp_path / "serve.sock",
+                         cache_dir=tmp_path / "cache", workers=2)
+    server.start()
+    yield server
+    server.stop(drain=False)
+
+
+def _client(server, **kwargs):
+    return ServeClient(server.socket_path, retry_connect=10.0, **kwargs)
+
+
+# -- protocol -----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_message_round_trip(self):
+        message = {"op": "submit", "priority": 3, "job": {"kind": "grid"}}
+        assert protocol.decode_message(protocol.encode_message(message)) \
+            == message
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"[1, 2]\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"not json\n")
+
+    def test_stream_round_trip_over_socketpair(self):
+        left, right = socket_module.socketpair()
+        a, b = protocol.MessageStream(left), protocol.MessageStream(right)
+        a.send({"op": "hello", "protocol": 1})
+        assert b.recv() == {"op": "hello", "protocol": 1}
+        b.close()
+        assert a.recv() is None  # clean close reads as None
+        a.close()
+
+    def test_error_response_carries_structured_code(self):
+        response = protocol.error_response("submit", "queue-full", "full",
+                                           active=4, limit=4)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "queue-full"
+        assert response["error"]["details"] == {"active": 4, "limit": 4}
+
+    def test_handshake_rejects_protocol_mismatch(self, daemon):
+        sock = socket_module.socket(socket_module.AF_UNIX,
+                                    socket_module.SOCK_STREAM)
+        sock.connect(str(daemon.socket_path))
+        stream = protocol.MessageStream(sock)
+        stream.send({"op": "hello", "protocol": 999})
+        response = stream.recv()
+        stream.close()
+        assert response["ok"] is False
+        assert response["error"]["code"] == "protocol-mismatch"
+
+
+# -- job queue ----------------------------------------------------------------------
+
+
+class TestJobQueue:
+    def test_queue_full_submission_is_structured_rejection(self):
+        queue = JobQueue(limit=2)
+        for _ in range(2):
+            queue.submit(kind="cells", namespace="", priority=0,
+                         stages=[_stage()])
+        with pytest.raises(AdmissionError) as excinfo:
+            queue.submit(kind="cells", namespace="", priority=0,
+                         stages=[_stage()])
+        assert excinfo.value.code == "queue-full"
+        assert excinfo.value.details == {"active": 2, "limit": 2}
+
+    def test_draining_queue_rejects_submits(self):
+        queue = JobQueue(limit=4)
+        queue.begin_drain()
+        with pytest.raises(AdmissionError) as excinfo:
+            queue.submit(kind="cells", namespace="", priority=0,
+                         stages=[_stage()])
+        assert excinfo.value.code == "draining"
+
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue(limit=8)
+        low = queue.submit(kind="cells", namespace="", priority=0,
+                           stages=[_stage()])
+        high = queue.submit(kind="cells", namespace="", priority=5,
+                            stages=[_stage()])
+        low2 = queue.submit(kind="cells", namespace="", priority=0,
+                            stages=[_stage()])
+        order = [queue.next_stage()[0].id for _ in range(3)]
+        assert order == [high.id, low.id, low2.id]
+
+    def test_terminal_job_drops_late_rows(self):
+        queue = JobQueue(limit=4)
+        job = queue.submit(kind="cells", namespace="", priority=0,
+                           stages=[_stage()])
+        queue.next_stage()
+        queue.cancel(job.id)
+        queue.append_row(job, {"index": 0})
+        assert job.state is JobState.CANCELLED
+        assert job.rows == []
+
+    def test_worker_death_retries_once_then_quarantines(self):
+        queue = JobQueue(limit=4)
+        job = queue.submit(kind="cells", namespace="", priority=0,
+                           stages=[_stage()])
+        claimed, index = queue.next_stage()
+        assert claimed is job
+        queue.worker_died(job, index)           # first death: re-queued
+        assert job.state is JobState.RUNNING
+        claimed, index = queue.next_stage()     # retry claim
+        assert claimed is job
+        queue.worker_died(job, index)           # second death: quarantined
+        assert job.state is JobState.QUARANTINED
+        assert job.error["code"] == "quarantined"
+        assert queue.next_stage() is None
+
+    def test_release_stage_does_not_count_an_attempt(self):
+        queue = JobQueue(limit=4)
+        job = queue.submit(kind="cells", namespace="", priority=0,
+                           stages=[_stage()])
+        _, index = queue.next_stage()
+        queue.release_stage(job, index)
+        assert job.stage_attempts[index] == 0
+        assert queue.next_stage() == (job, index)
+
+    def test_empty_job_is_born_done_with_prepopulated_rows(self):
+        queue = JobQueue(limit=4)
+        job = queue.submit(kind="cells", namespace="", priority=0,
+                          stages=[], rows=[{"index": 0, "resumed": True}])
+        assert job.state is JobState.DONE
+        assert job.rows == [{"index": 0, "resumed": True}]
+
+
+# -- daemon end-to-end --------------------------------------------------------------
+
+
+class TestServeEndToEnd:
+    def test_rows_bit_identical_to_serial_run_grid(self, daemon):
+        grid = _mini_grid()
+        with _client(daemon) as client:
+            rows, job = client.run_to_completion(
+                client.submit_grid(grid, resume=True))
+        assert job["state"] == "done"
+        reference = Session(cache_dir=None)
+        serial = {row.index: row.as_dict()
+                  for row in reference.run_grid(grid, workers=0)}
+        assert len(rows) == len(serial)
+        for row in rows:
+            expected = dict(serial[row["index"]])
+            got = dict(row)
+            expected.pop("resumed"), got.pop("resumed")
+            assert got == expected
+
+    def test_warm_resubmit_serves_entirely_from_store(self, daemon):
+        """Acceptance: a warm daemon re-serves a grid with zero
+        recompilation — every cell resume-served, no stages planned."""
+        grid = _mini_grid()
+        with _client(daemon) as client:
+            client.run_to_completion(client.submit_grid(grid, resume=True))
+            response = client.submit_grid(grid, resume=True)
+            rows, job = client.run_to_completion(response)
+        assert response["state"] == "done"       # born terminal
+        assert response["stages"] == 0           # nothing left to execute
+        assert response["resumed"] == len(rows)
+        assert all(row["resumed"] for row in rows)
+        assert job["session_stats"] == {}        # zero simulations
+
+    def test_second_client_dedups_through_shared_store(self, daemon):
+        grid = _mini_grid()
+        with _client(daemon) as first:
+            rows_first, _ = first.run_to_completion(
+                first.submit_grid(grid, resume=True))
+        with _client(daemon) as second:
+            response = second.submit_grid(grid, resume=True)
+            rows_second, _ = second.run_to_completion(response)
+        hits = response["resumed"]
+        assert hits / len(rows_second) >= 0.9
+        key = lambda row: row["index"]
+        strip = lambda row: {k: v for k, v in row.items() if k != "resumed"}
+        assert sorted(map(strip, rows_first), key=key) \
+            == sorted(map(strip, rows_second), key=key)
+
+    def test_namespaces_isolate_row_artifacts(self, daemon):
+        grid = _mini_grid()
+        with _client(daemon, namespace="tenant-a") as tenant_a:
+            tenant_a.run_to_completion(tenant_a.submit_grid(grid))
+        with _client(daemon, namespace="tenant-b") as tenant_b:
+            response = tenant_b.submit_grid(grid, resume=True)
+        # A different namespace never resumes from tenant-a's rows...
+        assert response["resumed"] == 0
+        with _client(daemon, namespace="tenant-a") as tenant_a:
+            again = tenant_a.submit_grid(grid, resume=True)
+        # ...but the same namespace does.
+        assert again["resumed"] == len(list(grid.cells()))
+
+    def test_artifact_jobs_return_full_run_artifacts(self, daemon):
+        spec = RunSpec(benchmark="bitcount", budget=BUDGET,
+                       policy=DEFAULT_POLICY)
+        remote = Session(remote=daemon.socket_path)
+        artifacts = remote.run(spec)
+        remote.close()
+        reference = Session(cache_dir=None).run(spec)
+        assert artifacts.timing.cycles == reference.timing.cycles
+        assert artifacts.timing.ipc == reference.timing.ipc
+        assert artifacts.coverage == reference.coverage
+
+    def test_remote_session_absorbs_worker_accounting(self, daemon):
+        remote = Session(remote=daemon.socket_path)
+        remote.run(RunSpec(benchmark="bitcount", budget=BUDGET,
+                           policy=DEFAULT_POLICY))
+        assert remote.stats.simulations > 0
+        remote.close()
+
+    def test_remote_run_grid_streams_grid_rows(self, daemon):
+        grid = _mini_grid()
+        remote = Session(remote=daemon.socket_path)
+        rows = list(remote.run_grid(grid, resume=True))
+        remote.close()
+        assert all(isinstance(row, GridRow) for row in rows)
+        assert sorted(row.index for row in rows) \
+            == [cell.index for cell in grid.cells()]
+
+    def test_unknown_job_poll_is_structured(self, daemon):
+        with _client(daemon) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.poll("job-9999")
+        assert excinfo.value.code == "unknown-job"
+
+    def test_queue_full_round_trips_to_client(self, tmp_path):
+        server = ServeServer(tmp_path / "serve.sock",
+                             cache_dir=tmp_path / "cache", workers=1,
+                             queue_limit=1)
+        server.start()
+        try:
+            grid = _mini_grid(budget=20_000)
+            with _client(server) as client:
+                client.submit_grid(grid)           # occupies the queue
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit_grid(grid)
+            assert excinfo.value.code == "queue-full"
+            assert excinfo.value.details["limit"] == 1
+        finally:
+            server.stop(drain=False)
+
+    def test_cancel_mid_stage_stops_pending_work(self, tmp_path):
+        server = ServeServer(tmp_path / "serve.sock",
+                             cache_dir=tmp_path / "cache", workers=1)
+        server.start()
+        try:
+            # Two distinct benchmarks = two stages on one worker: cancel
+            # while the first is in flight, the second must never start.
+            grid = _mini_grid(benchmarks=("bitcount", "crc"), budget=30_000)
+            with _client(server) as client:
+                job_id = client.submit_grid(grid)["job_id"]
+                job = client.cancel(job_id)
+                assert job["state"] == "cancelled"
+                final = client.poll(job_id)
+            assert final["state"] == "cancelled"
+            assert final["error"]["code"] == "cancelled"
+        finally:
+            server.stop(drain=False)
+
+    @staticmethod
+    def _await_exit(server, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not server.socket_path.exists():
+                return
+            time.sleep(0.05)
+        raise AssertionError("daemon did not exit after drain")
+
+    @staticmethod
+    def _assert_drained_rows(server, grid):
+        """Drain ran the in-flight job to completion: every cell's row
+        artifact was persisted to the daemon store before exit."""
+        store = ArtifactStore(server.cache_dir, version=server.version)
+        for cell in grid.cells():
+            assert store.get(cell_key(cell.spec, server.version)) is not MISS
+
+    def test_shutdown_drains_in_flight_and_rejects_new(self, tmp_path):
+        server = ServeServer(tmp_path / "serve.sock",
+                             cache_dir=tmp_path / "cache", workers=1)
+        server.start()
+        grid = _mini_grid(budget=60_000)
+        try:
+            with _client(server) as client:
+                client.submit_grid(grid)
+                client.shutdown(drain=True)
+            # Draining: new submissions get a structured rejection while the
+            # in-flight job keeps running...
+            with _client(server) as late:
+                with pytest.raises(ServeError) as excinfo:
+                    late.submit_grid(grid)
+                assert excinfo.value.code == "draining"
+            # ...then the daemon exits on its own, after (not before) the
+            # job completed and persisted every row artifact.
+            self._await_exit(server)
+            self._assert_drained_rows(server, grid)
+        finally:
+            server.stop(drain=False)
+
+    def test_sigterm_triggers_graceful_drain(self, tmp_path):
+        server = ServeServer(tmp_path / "serve.sock",
+                             cache_dir=tmp_path / "cache", workers=1)
+        server.start()
+        handled = signal.getsignal(signal.SIGTERM)
+        grid = _mini_grid(budget=60_000)
+        try:
+            # Wire SIGTERM exactly as the CLI does, then raise it in-process.
+            signal.signal(signal.SIGTERM,
+                          lambda *_: server.request_shutdown(drain=True))
+            with _client(server) as client:
+                client.submit_grid(grid)
+                os.kill(os.getpid(), signal.SIGTERM)
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit_grid(grid)
+                assert excinfo.value.code == "draining"
+            self._await_exit(server)
+            self._assert_drained_rows(server, grid)
+        finally:
+            signal.signal(signal.SIGTERM, handled)
+            server.stop(drain=False)
+
+
+#: Pid of the test (= daemon) process; pool workers fork from it.
+_DAEMON_PID = os.getpid()
+
+
+class _WorkerKillerSpec(RunSpec):
+    """A spec whose *execution* SIGKILLs the worker process running it.
+
+    Daemon-side handling (planning, cache keying) happens in the test
+    process and is untouched by the pid guard; only a forked pool worker
+    that actually starts running the cell dies.  This makes "a job that
+    keeps killing its workers" fully deterministic — no racing ``os.kill``
+    against the scheduler.
+    """
+
+    @property
+    def resolved_machine(self):
+        if os.getpid() != _DAEMON_PID:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().resolved_machine
+
+
+class TestWorkerDeath:
+    def test_killed_worker_job_retried_then_completes(self, tmp_path):
+        """SIGKILL one worker mid-stage: the stage is retried on a fresh
+        worker and the job still completes with correct rows."""
+        server = ServeServer(tmp_path / "serve.sock",
+                             cache_dir=tmp_path / "cache", workers=1,
+                             backend="process")
+        try:
+            server.start()
+        except (OSError, PermissionError):
+            pytest.skip("process pools unavailable")
+        try:
+            grid = _mini_grid(budget=60_000)
+            with _client(server) as client:
+                job_id = client.submit_grid(grid)["job_id"]
+                deadline = time.monotonic() + 60
+                victim = None
+                while time.monotonic() < deadline and victim is None:
+                    busy = client.status()["busy_worker_pids"]
+                    if busy:
+                        victim = busy[0]
+                    else:
+                        time.sleep(0.02)
+                assert victim is not None, "job never reached a worker"
+                os.kill(victim, signal.SIGKILL)
+                rows = list(client.stream(job_id))
+                job = client.poll(job_id)
+            assert job["state"] == "done"
+            assert job["attempts"] >= 2          # the stage ran twice
+            assert len(rows) == len(list(grid.cells()))
+            assert len({row["index"] for row in rows}) == len(rows)
+        finally:
+            server.stop(drain=False)
+
+    def test_job_that_kills_two_workers_is_quarantined(self, tmp_path):
+        """A job that kills every worker it lands on is retried exactly once
+        and then quarantined with a structured error — and the daemon
+        (respawning workers both times) keeps serving other jobs."""
+        server = ServeServer(tmp_path / "serve.sock",
+                             cache_dir=tmp_path / "cache", workers=1,
+                             backend="process")
+        try:
+            server.start()
+        except (OSError, PermissionError):
+            pytest.skip("process pools unavailable")
+        try:
+            killer = GridCell(
+                index=0, point=(("benchmark", "bitcount"),),
+                spec=_WorkerKillerSpec(benchmark="bitcount", budget=BUDGET))
+            with _client(server) as client:
+                job_id = client.submit_cells(
+                    [killer], label="killer", resume=False)["job_id"]
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    job = client.poll(job_id)
+                    if job["state"] not in ("running", "queued"):
+                        break
+                    time.sleep(0.05)
+            assert job["state"] == "quarantined"
+            assert job["error"]["code"] == "quarantined"
+            assert job["attempts"] >= 2          # original run + one retry
+            # The daemon survived two worker deaths: a fresh submit works.
+            with _client(server) as client:
+                rows, job = client.run_to_completion(
+                    client.submit_grid(_mini_grid(), resume=True))
+            assert job["state"] == "done"
+        finally:
+            server.stop(drain=False)
+
+
+# -- satellite regressions ----------------------------------------------------------
+
+
+class TestStorePruneLock:
+    def test_prune_skips_version_dir_with_live_writer(self, tmp_path):
+        """Regression: prune() racing an in-flight put() must not delete a
+        fresh entry.  A store that has written holds a shared lock on its
+        version directory; prune skips locked directories entirely."""
+        live = ArtifactStore(tmp_path, version="0.9.0")
+        live.put("fresh", {"payload": 1})
+        pruner = ArtifactStore(tmp_path, version="1.0.0")
+        pruner.put("mine", {"payload": 2})
+        removed, _ = pruner.prune()
+        assert removed == 0
+        reader = ArtifactStore(tmp_path, version="0.9.0")
+        assert reader.get("fresh") == {"payload": 1}
+        live.close()
+
+    def test_prune_evicts_after_writer_closes(self, tmp_path):
+        stale = ArtifactStore(tmp_path, version="0.9.0")
+        stale.put("old", {"payload": 1})
+        stale.close()
+        pruner = ArtifactStore(tmp_path, version="1.0.0")
+        pruner.put("mine", {"payload": 2})
+        removed, freed = pruner.prune()
+        assert removed == 1
+        assert freed > 0
+        assert not (tmp_path / "v-0.9.0").exists()
+        assert pruner.get("mine") == {"payload": 2}
+
+    def test_close_is_reentrant_and_reacquired_on_next_put(self, tmp_path):
+        store = ArtifactStore(tmp_path, version="1.0.0")
+        store.put("a", 1)
+        store.close()
+        store.close()                      # idempotent
+        store.put("b", 2)                  # re-acquires the activity lock
+        other = ArtifactStore(tmp_path, version="2.0.0")
+        other.put("c", 3)
+        removed, _ = other.prune()
+        assert removed == 0                # v-1.0.0 is live again
+        store.close()
+
+
+class TestBrokenPipe:
+    def test_main_returns_zero_when_stdout_pipe_closes(self, monkeypatch,
+                                                       tmp_path):
+        """`repro grid --output ... | head` must exit 0, not traceback."""
+        from repro.api import cli
+
+        class _ClosedPipe(io.StringIO):
+            def write(self, text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def fileno(self):
+                raise OSError("no fileno")     # dup2 redirect must cope
+
+        monkeypatch.setattr("sys.stdout", _ClosedPipe())
+        code = cli.main(["--no-disk-cache", "--json", "grid", "--name",
+                         "mini", "--benchmarks", "bitcount", "--budget",
+                         "500", "--output", str(tmp_path / "rows.jsonl")])
+        assert code == 0
+
+    def test_grid_piped_to_head_exits_cleanly(self, tmp_path):
+        import subprocess
+        import sys as _sys
+        script = ("import sys; from repro.api.cli import main; "
+                  "sys.exit(main(['--no-disk-cache', '--json', 'grid', "
+                  "'--name', 'mini', '--benchmarks', 'bitcount', "
+                  "'--budget', '500']))")
+        reader, writer = os.pipe()
+        env = dict(os.environ)
+        process = subprocess.Popen(
+            [_sys.executable, "-c", script], stdout=writer,
+            stderr=subprocess.PIPE, env=env)
+        os.close(writer)
+        os.read(reader, 64)        # consume a little, then hang up
+        os.close(reader)
+        _, stderr = process.communicate(timeout=240)
+        assert process.returncode == 0, stderr.decode()
+        assert b"Traceback" not in stderr
+        assert b"Exception ignored" not in stderr
+
+
+# -- serve CLI ----------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_cli_serve_status_without_daemon(self, tmp_path, capsys):
+        from repro.api.cli import main
+        code = main(["serve", "status", "--socket",
+                     str(tmp_path / "nope.sock")])
+        assert code == 1
+        assert "no serve daemon" in capsys.readouterr().err
+
+    def test_cli_submit_and_jobs_against_daemon(self, daemon, capsys):
+        from repro.api.cli import main
+        code = main(["submit", "--grid", "mini", "--benchmarks", "bitcount",
+                     "--budget", str(BUDGET), "--socket",
+                     str(daemon.socket_path), "--follow"])
+        assert code == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.splitlines() if line]
+        assert rows and all("spec_hash" in row for row in rows)
+        code = main(["jobs", "--socket", str(daemon.socket_path)])
+        assert code == 0
+        assert "done" in capsys.readouterr().out

@@ -22,6 +22,16 @@ Grid-engine gates (``BENCH_5.json`` onwards):
   resumed pass over a completed campaign must serve every cell from its
   stored row artifact.  Both are deterministic (no wall clock), so they
   gate exactly.
+
+Serve-daemon gates (``BENCH_6.json`` onwards):
+
+* ``--min-serve-warm-speedup 5.0`` asserts ``serve.warm_speedup`` — the
+  submit-to-first-row latency of a warm daemon versus a cold submit — holds
+  the warm-pool claim (wall clock, so CI passes a looser bound than the
+  committed record's);
+* ``--require-serve-store-hits`` asserts ``serve.warm_resumed_fraction`` is
+  1.0: a warm resubmission of a finished grid must be answered entirely
+  from stored row artifacts, executing zero cells (deterministic).
 """
 
 from __future__ import annotations
@@ -52,6 +62,11 @@ def main(argv=None) -> int:
                         help="require record.grid.dedup_ratio >= this value")
     parser.add_argument("--require-grid-resume", action="store_true",
                         help="require record.grid.resume_hit_rate == 1.0")
+    parser.add_argument("--min-serve-warm-speedup", type=float, default=None,
+                        help="require record.serve.warm_speedup >= this value")
+    parser.add_argument("--require-serve-store-hits", action="store_true",
+                        help="require record.serve.warm_resumed_fraction "
+                             "== 1.0")
     args = parser.parse_args(argv)
 
     record = _load(args.record)
@@ -79,6 +94,31 @@ def main(argv=None) -> int:
                 f"< required 100% — resumed campaigns re-executed cells")
         else:
             print(f"{args.record}: grid resume hit rate 100%")
+
+    if args.min_serve_warm_speedup is not None:
+        speedup = (record.get("serve") or {}).get("warm_speedup")
+        if speedup is None:
+            failures.append(f"{args.record}: no serve.warm_speedup recorded")
+        elif speedup < args.min_serve_warm_speedup:
+            failures.append(
+                f"{args.record}: serve warm first-row speedup {speedup:.2f}x "
+                f"< required {args.min_serve_warm_speedup:.2f}x")
+        else:
+            print(f"{args.record}: serve warm first-row speedup "
+                  f"{speedup:.2f}x (>= {args.min_serve_warm_speedup:.2f}x)")
+
+    if args.require_serve_store_hits:
+        fraction = (record.get("serve") or {}).get("warm_resumed_fraction")
+        if fraction is None:
+            failures.append(f"{args.record}: no serve.warm_resumed_fraction "
+                            "recorded")
+        elif fraction < 1.0:
+            failures.append(
+                f"{args.record}: serve warm store-hit fraction "
+                f"{fraction * 100:.1f}% < required 100% — warm resubmits "
+                "re-executed cells")
+        else:
+            print(f"{args.record}: serve warm resubmits 100% store-served")
 
     if args.min_frontend_speedup is not None:
         speedups = record.get("frontend_speedup_vs_before") or {}
