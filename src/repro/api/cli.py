@@ -168,6 +168,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="earlier BENCH_*.json to embed as the 'before' "
                             "half of a before/after throughput comparison")
 
+    fuzz = commands.add_parser(
+        "fuzz", help="differential fuzzing over seeded synthetic programs")
+    fuzz.add_argument("--seeds", type=int, default=64,
+                      help="number of consecutive seeds to run (default 64)")
+    fuzz.add_argument("--base-seed", type=int, default=0,
+                      help="first seed of the block (default 0)")
+    fuzz.add_argument("--oracles", nargs="+", default=None,
+                      metavar="ORACLE",
+                      help="oracle subset (default: rewrite selection codec "
+                           "timing geometry)")
+    fuzz.add_argument("--budget", type=int, default=None,
+                      help="dynamic-instruction budget per functional run")
+    fuzz.add_argument("--input", default="reference",
+                      help="input set to generate (reference or train)")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="process-pool width (1 = serial)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failing seeds without dial reduction")
+    fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
+                      help="persist a replayable repro JSON per failing "
+                           "seed into DIR (the tests/corpus/ convention)")
+
     cache = commands.add_parser(
         "cache", help="inspect, clear or prune the artifact cache")
     cache.add_argument("action", choices=("info", "clear", "prune"),
@@ -564,6 +586,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     grid_metrics = _grid_metrics(session, names, policy, args.budget,
                                  args.workers)
     serve_metrics = _serve_metrics(names, policy, args.budget)
+    fuzz_metrics = _fuzz_metrics()
     truncation = ""
     if frontend_metrics["truncated_selections"]:
         truncation = (f" [TRUNCATED: {frontend_metrics['truncated_selections']} "
@@ -593,18 +616,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f" / p99 {serve_metrics['warm_first_row_p99_seconds'] * 1000:.1f}"
               f" ms ({serve_metrics['warm_speedup']:.0f}x), "
               f"{serve_metrics['jobs_per_second_warm']:,.0f} jobs/s at "
-              f"{serve_metrics['warm_resumed_fraction'] * 100:.0f}% store hits")
+              f"{serve_metrics['warm_resumed_fraction'] * 100:.0f}% store hits"
+            + f"\nfuzz          : {fuzz_metrics['programs_per_second']:,.0f} "
+              f"programs/s generated, "
+              f"{fuzz_metrics['differential_runs_per_second']:,.0f} "
+              f"differential runs/s over {fuzz_metrics['seeds']} seeds")
     payload = {"bench": _table_to_dict(table),
                "results": [artifacts.report() for artifacts in results],
                "throughput": throughput,
                "trace": trace_metrics,
                "frontend": frontend_metrics,
                "grid": grid_metrics,
-               "serve": serve_metrics}
+               "serve": serve_metrics,
+               "fuzz": fuzz_metrics}
     if args.record is not None:
         record_path = _write_bench_record(args, session, names, throughput,
                                           trace_metrics, frontend_metrics,
-                                          grid_metrics, serve_metrics, before)
+                                          grid_metrics, serve_metrics,
+                                          fuzz_metrics, before)
         payload["record_path"] = record_path
         text += f"\nrecorded      : {record_path}"
     _emit(args, session, text, payload)
@@ -881,12 +910,47 @@ def _frontend_metrics(results: List[Any], policy: Optional[SelectionPolicy],
     }
 
 
+#: Seeds measured by the bench fuzz block (generation probe runs the full
+#: block; the differential probe runs a prefix — the oracles dominate the
+#: per-seed cost, and the bench only needs a stable rate, not coverage).
+_FUZZ_BENCH_SEEDS = 24
+_FUZZ_BENCH_DIFFERENTIAL_SEEDS = 8
+
+
+def _fuzz_metrics() -> Dict[str, Any]:
+    """Fuzzing throughput: program generation and differential-oracle rates.
+
+    Two probes over a fixed seed block, so the figures are comparable
+    across commits: pure generation (spec sampling + assembly into a
+    :class:`Program`) and full differential runs (all five oracles).
+    """
+    from ..fuzz import SynthSpec, generate_program, run_fuzz
+
+    start = time.perf_counter()
+    for seed in range(_FUZZ_BENCH_SEEDS):
+        generate_program(SynthSpec.sample(seed), "reference")
+    generate_seconds = time.perf_counter() - start
+    report = run_fuzz(_FUZZ_BENCH_DIFFERENTIAL_SEEDS, shrink=False)
+    return {
+        "seeds": _FUZZ_BENCH_SEEDS,
+        "generate_seconds": generate_seconds,
+        "programs_per_second":
+            _FUZZ_BENCH_SEEDS / generate_seconds if generate_seconds else 0.0,
+        "differential_seeds": report.seeds,
+        "differential_runs": report.differential_runs,
+        "differential_seconds": report.elapsed_seconds,
+        "differential_runs_per_second": report.runs_per_second,
+        "failures": len(report.failures),
+    }
+
+
 def _write_bench_record(args: argparse.Namespace, session: Session,
                         names: List[str], throughput: Dict[str, Any],
                         trace_metrics: Dict[str, Any],
                         frontend_metrics: Dict[str, Any],
                         grid_metrics: Dict[str, Any],
                         serve_metrics: Dict[str, Any],
+                        fuzz_metrics: Dict[str, Any],
                         before: Optional[Dict[str, Any]]) -> str:
     """Write the ``BENCH_*.json`` simulator-throughput record.
 
@@ -908,6 +972,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         "frontend": frontend_metrics,
         "grid": grid_metrics,
         "serve": serve_metrics,
+        "fuzz": fuzz_metrics,
         # Cache context: with a warm artifact cache no simulation runs and
         # cycles_per_second measures cache-load speed, not the simulator.
         "session_stats": session.stats.as_dict(),
@@ -960,6 +1025,43 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from ..fuzz import ORACLE_NAMES, run_fuzz
+
+    if args.seeds <= 0:
+        print("repro: error: --seeds must be positive", file=sys.stderr)
+        return 2
+    if args.oracles is not None:
+        unknown = [name for name in args.oracles if name not in ORACLE_NAMES]
+        if unknown:
+            print(f"repro: error: unknown oracles {', '.join(unknown)}; "
+                  f"available: {', '.join(ORACLE_NAMES)}", file=sys.stderr)
+            return 2
+    report = run_fuzz(args.seeds, base_seed=args.base_seed,
+                      oracles=args.oracles, budget=args.budget,
+                      input_name=args.input, workers=args.workers or 1,
+                      shrink=not args.no_shrink, corpus_dir=args.corpus_dir)
+    lines = [f"fuzz          : {report.seeds} seeds from {report.base_seed}, "
+             f"oracles {', '.join(report.oracles)}",
+             f"differential  : {report.differential_runs} runs in "
+             f"{report.elapsed_seconds:.1f}s "
+             f"({report.runs_per_second:,.0f} runs/s)"]
+    if report.ok:
+        lines.append("result        : all oracles passed")
+    else:
+        lines.append(f"result        : {len(report.failures)} failing "
+                     f"seed(s)")
+        for failure in report.failures:
+            lines.append(f"  seed {failure.seed}: [{failure.oracle}] "
+                         f"{failure.detail}")
+            if failure.shrunk:
+                lines.append(f"    shrunk to {failure.shrunk}")
+            if failure.repro_path:
+                lines.append(f"    repro written to {failure.repro_path}")
+    _emit(args, None, "\n".join(lines), {"fuzz": report.payload()})
+    return 0 if report.ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -1165,6 +1267,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_grid(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "submit":

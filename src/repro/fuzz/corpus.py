@@ -1,0 +1,107 @@
+"""The committed fuzz corpus: replayable seed files under ``tests/corpus/``.
+
+Each corpus file is a small JSON record naming one generated program (by its
+self-describing ``synth:`` spec name) and the oracles to replay against it.
+Two kinds of entry live side by side:
+
+* **starter seeds** — a spread across the dial space, replayed by
+  ``tests/test_fuzz.py`` on every tier-1 run as a cheap standing
+  differential check;
+* **repros** — shrunk failing seeds persisted by ``repro fuzz``.  Once the
+  underlying bug is fixed they are committed as pinned regressions: the
+  replay must pass forever after.
+
+The format is deliberately trivial so a failing CI artifact can be dropped
+into ``tests/corpus/`` unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from .generator import SynthSpec, SynthSpecError
+from .oracles import ORACLE_NAMES, OracleResult, run_oracles
+
+#: Schema version stamped into every corpus file.
+CORPUS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable corpus record."""
+
+    name: str                        #: file stem, e.g. ``seed-000017``
+    spec: str                        #: full ``synth:`` benchmark name
+    oracles: Tuple[str, ...] = ORACLE_NAMES
+    input: str = "reference"
+    budget: Optional[int] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        SynthSpec.from_name(self.spec)  # validate eagerly; raises SynthSpecError
+        unknown = [name for name in self.oracles if name not in ORACLE_NAMES]
+        if unknown:
+            raise SynthSpecError(
+                f"corpus entry {self.name!r} names unknown oracles {unknown}")
+
+    def payload(self) -> dict:
+        return {
+            "version": CORPUS_VERSION,
+            "name": self.name,
+            "spec": self.spec,
+            "oracles": list(self.oracles),
+            "input": self.input,
+            "budget": self.budget,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CorpusEntry":
+        version = payload.get("version")
+        if version != CORPUS_VERSION:
+            raise SynthSpecError(
+                f"corpus entry has version {version!r}; "
+                f"this codebase reads version {CORPUS_VERSION}")
+        oracles = payload.get("oracles")
+        return cls(
+            name=payload["name"],
+            spec=payload["spec"],
+            oracles=tuple(oracles) if oracles else ORACLE_NAMES,
+            input=payload.get("input", "reference"),
+            budget=payload.get("budget"),
+            note=payload.get("note", ""),
+        )
+
+
+def write_repro(directory: Union[str, Path], entry: CorpusEntry) -> Path:
+    """Persist one corpus entry as ``<directory>/<name>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.payload(), indent=2, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def load_corpus(directory: Union[str, Path]) -> List[CorpusEntry]:
+    """Load every ``*.json`` corpus entry under ``directory``, sorted."""
+    directory = Path(directory)
+    entries: List[CorpusEntry] = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise SynthSpecError(
+                f"corpus file {path} is not valid JSON: {error}") from error
+        entries.append(CorpusEntry.from_payload(payload))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry) -> List[OracleResult]:
+    """Re-run one corpus entry's oracles against its regenerated program."""
+    spec = SynthSpec.from_name(entry.spec)
+    return run_oracles(spec, oracles=entry.oracles, input_name=entry.input,
+                       budget=entry.budget)

@@ -213,6 +213,21 @@ class MachineConfig:
                  f"MachineConfig: alu_pipelines ({self.alu_pipelines}) "
                  f"cannot exceed int_alu_units ({self.int_alu_units}); "
                  f"ALU pipelines replace plain integer ALUs")
+        # Joint front-end geometry constraints.  The predictor and BTB
+        # constructors enforce these shapes themselves, but with plain
+        # ValueErrors deep inside TimingSimulator construction; validating
+        # here turns an off-shape geometry into the same ConfigError every
+        # other bad dimension produces.  (Found by the geometry fuzz oracle:
+        # see tests/test_fuzz.py quarantined-geometry regressions.)
+        _require(self.predictor_entries & (self.predictor_entries - 1) == 0,
+                 f"MachineConfig: predictor_entries "
+                 f"({self.predictor_entries}) must be a power of two; the "
+                 f"hybrid predictor indexes its tables with a bit slice")
+        _require(self.btb_entries % self.btb_associativity == 0,
+                 f"MachineConfig: btb_entries ({self.btb_entries}) must be "
+                 f"a multiple of btb_associativity "
+                 f"({self.btb_associativity}); the BTB is a set-associative "
+                 f"array of whole sets")
         unit_mix = (self.int_alu_units + self.fp_units
                     + self.load_ports + self.store_ports)
         _require(self.issue_width <= unit_mix,

@@ -58,7 +58,7 @@ from ..sim.trace import (
 )
 from .bpred import FrontEndPredictor
 from .caches import MemoryHierarchy
-from .config import MachineConfig
+from .config import ConfigError, MachineConfig
 from .decode import (
     KIND_FP,
     KIND_HANDLE,
@@ -163,6 +163,17 @@ class TimingSimulator:
             self._feed = self._decode.trace_feed(trace)
         except DecodeError as error:
             raise TimingError(str(error)) from None
+        # Admission check: an FP instruction on a machine with no FP units
+        # can never issue, so the scheduler spins until the cycle watchdog
+        # fires.  Reject the pairing up front with the same error class as
+        # any other impossible geometry.  (Found by the geometry fuzz
+        # oracle: see tests/test_fuzz.py quarantined-geometry regressions.)
+        if config.fp_units == 0 and any(op.kind == KIND_FP
+                                        for op in self._feed):
+            raise ConfigError(
+                f"machine {config.name!r} has fp_units=0 but the trace for "
+                f"{program.name!r} contains floating-point instructions; "
+                f"they could never issue")
         # The packed trace columns, read directly by the fetch stage — no
         # per-entry record is ever materialized on the replay path.
         columns = trace.columns()

@@ -26,6 +26,7 @@ from .base import (
     register_benchmark,
 )
 from . import comm, embedded, media, spec
+from .synth import SYNTH_SUITE, is_synth_name, synth, synth_benchmark
 
 # Populate the registry exactly once at import time.
 if len(REGISTRY) == 0:  # pragma: no branch - guarded for re-import safety
@@ -73,7 +74,11 @@ __all__ = [
     "REGISTRY",
     "SUITE_NAMES",
     "SUITE_TITLES",
+    "SYNTH_SUITE",
     "WorkloadError",
+    "is_synth_name",
+    "synth",
+    "synth_benchmark",
     "data_directive",
     "register_benchmark",
     "benchmark_names",

@@ -126,10 +126,25 @@ class BenchmarkRegistry:
         return benchmark
 
     def get(self, name: str) -> Benchmark:
-        """Look up one benchmark by name."""
+        """Look up one benchmark by name.
+
+        Names with the ``synth:`` prefix resolve through the generative
+        workload family (:mod:`repro.workloads.synth`): the name encodes the
+        full generator spec, so resolution needs no prior registration and
+        works identically in pool workers and serve daemons.
+        """
         try:
             return self._benchmarks[name]
         except KeyError as exc:
+            if name.startswith("synth:"):
+                # Imported from the module, not the package: the package
+                # re-exports a `synth` *function* that shadows the
+                # submodule attribute of the same name.
+                from .synth import synth_benchmark
+                try:
+                    return synth_benchmark(name)
+                except ValueError as synth_exc:
+                    raise WorkloadError(str(synth_exc)) from synth_exc
             raise WorkloadError(f"unknown benchmark {name!r}") from exc
 
     def names(self, suite: Optional[str] = None) -> List[str]:

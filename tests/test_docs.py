@@ -14,7 +14,8 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 import check_links  # noqa: E402
 
 
-REQUIRED_DOCS = ("architecture.md", "api.md", "figures.md", "serve.md")
+REQUIRED_DOCS = ("architecture.md", "api.md", "figures.md", "serve.md",
+                 "fuzzing.md")
 
 
 @pytest.mark.parametrize("name", REQUIRED_DOCS)
@@ -36,7 +37,7 @@ def test_readme_matches_cli_surface():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     parser = _build_parser()
     subcommands = {"run", "figure", "grid", "bench", "cache",
-                   "serve", "submit", "jobs"}
+                   "serve", "submit", "jobs", "fuzz"}
     for name in subcommands:
         assert f"repro {name}" in readme, f"README does not show `repro {name}`"
     # Every `repro <word>` the README shows must be a real sub-command.

@@ -456,6 +456,63 @@ class TestWorkerDeath:
         finally:
             server.stop(drain=False)
 
+    def test_synth_grid_survives_worker_death_bit_identical(self, tmp_path):
+        """Fuzz load through the daemon: a synth-workload grid (resolved
+        purely from ``synth:`` names, no registry state) is submitted via
+        ServeClient, one worker is SIGKILLed mid-job, and the retried job's
+        rows are bit-identical to a serial ``run_grid`` of the same grid."""
+        from repro.fuzz import synth
+        from repro.grid.engine import run_grid
+
+        names = tuple(synth(seed=seed) for seed in range(4))
+        axes = (Axis("workload", names),
+                Axis("config", ("minigraph", "baseline")))
+
+        def build(point):
+            policy = DEFAULT_POLICY if point["config"] == "minigraph" else None
+            return RunSpec(benchmark=point["workload"], budget=20_000,
+                           policy=policy)
+
+        grid = GridSpec(name="synth-fuzz-load", axes=axes, build=build)
+        server = ServeServer(tmp_path / "serve.sock",
+                             cache_dir=tmp_path / "cache", workers=1,
+                             backend="process")
+        try:
+            server.start()
+        except (OSError, PermissionError):
+            pytest.skip("process pools unavailable")
+        try:
+            with _client(server) as client:
+                job_id = client.submit_grid(grid)["job_id"]
+                deadline = time.monotonic() + 60
+                victim = None
+                while time.monotonic() < deadline and victim is None:
+                    busy = client.status()["busy_worker_pids"]
+                    if busy:
+                        victim = busy[0]
+                    else:
+                        time.sleep(0.02)
+                assert victim is not None, "job never reached a worker"
+                os.kill(victim, signal.SIGKILL)
+                served = list(client.stream(job_id))
+                job = client.poll(job_id)
+            assert job["state"] == "done"
+            assert job["attempts"] >= 2          # the killed stage reran
+            serial = [row.as_dict()
+                      for row in run_grid(Session(cache_dir=None), grid)]
+            served_by_index = {row["index"]: row for row in served}
+            assert len(served_by_index) == len(serial)
+            for expected in serial:
+                actual = served_by_index[expected["index"]]
+                for column in ("benchmark", "spec_hash", "coverage",
+                               "baseline_ipc", "ipc", "speedup", "cycles",
+                               "baseline_cycles", "templates"):
+                    assert actual[column] == expected[column], (
+                        f"row {expected['index']} column {column}: daemon "
+                        f"{actual[column]!r} != serial {expected[column]!r}")
+        finally:
+            server.stop(drain=False)
+
 
 # -- satellite regressions ----------------------------------------------------------
 

@@ -32,6 +32,14 @@ Serve-daemon gates (``BENCH_6.json`` onwards):
 * ``--require-serve-store-hits`` asserts ``serve.warm_resumed_fraction`` is
   1.0: a warm resubmission of a finished grid must be answered entirely
   from stored row artifacts, executing zero cells (deterministic).
+
+Fuzzing gates (``BENCH_7.json`` onwards):
+
+* ``--min-fuzz-rate 20`` asserts ``fuzz.programs_per_second`` — seeded
+  program generation throughput — stays above the floor (wall clock, so CI
+  passes a looser bound than the committed record's);
+* the fuzz block's ``failures`` count must be zero whenever the record
+  carries one: a bench run that tripped an oracle is a failing record.
 """
 
 from __future__ import annotations
@@ -67,6 +75,9 @@ def main(argv=None) -> int:
     parser.add_argument("--require-serve-store-hits", action="store_true",
                         help="require record.serve.warm_resumed_fraction "
                              "== 1.0")
+    parser.add_argument("--min-fuzz-rate", type=float, default=None,
+                        help="require record.fuzz.programs_per_second >= "
+                             "this value (and zero oracle failures)")
     args = parser.parse_args(argv)
 
     record = _load(args.record)
@@ -119,6 +130,27 @@ def main(argv=None) -> int:
                 "re-executed cells")
         else:
             print(f"{args.record}: serve warm resubmits 100% store-served")
+
+    if args.min_fuzz_rate is not None:
+        fuzz = record.get("fuzz") or {}
+        rate = fuzz.get("programs_per_second")
+        if rate is None:
+            failures.append(f"{args.record}: no fuzz.programs_per_second "
+                            "recorded")
+        elif rate < args.min_fuzz_rate:
+            failures.append(
+                f"{args.record}: fuzz generation rate {rate:.0f} programs/s "
+                f"< required {args.min_fuzz_rate:.0f}")
+        else:
+            print(f"{args.record}: fuzz generation {rate:.0f} programs/s "
+                  f"(>= {args.min_fuzz_rate:.0f}), differential "
+                  f"{fuzz.get('differential_runs_per_second', 0.0):.0f} "
+                  f"runs/s")
+        oracle_failures = fuzz.get("failures")
+        if oracle_failures:
+            failures.append(
+                f"{args.record}: fuzz block recorded {oracle_failures} "
+                f"oracle failure(s); the record was made on a broken tree")
 
     if args.min_frontend_speedup is not None:
         speedups = record.get("frontend_speedup_vs_before") or {}
