@@ -31,6 +31,7 @@ from rendered text to JSON built on :mod:`repro.experiments.reporting`.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import math
 import os
@@ -146,6 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            "extension, else jsonl)")
     grid.add_argument("--no-table", action="store_true",
                       help="skip rendering the grid's result tables")
+    grid.add_argument("--no-batch", action="store_true",
+                      help="disable the batched multi-machine timing kernel "
+                           "and pay the scalar per-cell timing loop (rows "
+                           "are bit-identical either way)")
 
     bench = commands.add_parser("bench", help="sweep a suite through Session.sweep")
     bench.add_argument("--suite", default=None,
@@ -177,7 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--oracles", nargs="+", default=None,
                       metavar="ORACLE",
                       help="oracle subset (default: rewrite selection codec "
-                           "timing geometry)")
+                           "timing geometry batch)")
     fuzz.add_argument("--budget", type=int, default=None,
                       help="dynamic-instruction budget per functional run")
     fuzz.add_argument("--input", default="reference",
@@ -426,6 +431,10 @@ class _RowWriter:
             import csv
             self._csv = csv.writer(self._handle)
             self._csv.writerow(["index", *self._axis_names, *_ROW_FIELDS])
+            # Flush the header immediately: a shard whose every planned
+            # stage resolves to zero rows must still leave a parseable CSV,
+            # and a tailed campaign shows its columns before the first row.
+            self._handle.flush()
 
     def write(self, row) -> None:
         if self._handle is None:
@@ -491,7 +500,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     try:
         for row in session.run_grid(plan, resume=args.resume,
-                                    workers=args.workers):
+                                    workers=args.workers,
+                                    batch=not args.no_batch):
             rows.append(row)
             writer.write(row)
     finally:
@@ -585,6 +595,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     frontend_metrics = _frontend_metrics(results, policy, session)
     grid_metrics = _grid_metrics(session, names, policy, args.budget,
                                  args.workers)
+    grid_batched_metrics = _grid_batched_metrics(session, names, args.budget)
     serve_metrics = _serve_metrics(names, policy, args.budget)
     fuzz_metrics = _fuzz_metrics()
     truncation = ""
@@ -610,6 +621,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"specs/s planned, {grid_metrics['dedup_ratio']:.2f}x "
               f"shared-artifact dedup, resume hit rate "
               f"{grid_metrics['resume_hit_rate'] * 100:.0f}%"
+            + f"\ngrid batched  : "
+              f"{grid_batched_metrics['speedup_vs_scalar']:.2f}x vs scalar "
+              f"({grid_batched_metrics['cells_per_second_batched']:,.1f} "
+              f"cells/s batched vs "
+              f"{grid_batched_metrics['cells_per_second_scalar']:,.1f} "
+              f"scalar, {grid_batched_metrics['lanes_per_pass']:.1f} "
+              f"lanes/pass, rows "
+              f"{'identical' if grid_batched_metrics['row_union_identical'] else 'DIVERGED'})"
             + f"\nserve         : cold first row "
               f"{serve_metrics['cold_first_row_seconds'] * 1000:.0f} ms, warm "
               f"p50 {serve_metrics['warm_first_row_p50_seconds'] * 1000:.1f} ms"
@@ -627,13 +646,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                "trace": trace_metrics,
                "frontend": frontend_metrics,
                "grid": grid_metrics,
+               "grid_batched": grid_batched_metrics,
                "serve": serve_metrics,
                "fuzz": fuzz_metrics}
     if args.record is not None:
         record_path = _write_bench_record(args, session, names, throughput,
                                           trace_metrics, frontend_metrics,
-                                          grid_metrics, serve_metrics,
-                                          fuzz_metrics, before)
+                                          grid_metrics, grid_batched_metrics,
+                                          serve_metrics, fuzz_metrics, before)
         payload["record_path"] = record_path
         text += f"\nrecorded      : {record_path}"
     _emit(args, session, text, payload)
@@ -763,6 +783,114 @@ def _grid_metrics(session: Session, names: List[str],
         "executed_cells": sum(1 for row in first if not row.resumed),
         "resume_hit_rate": resumed / cells if cells else 0.0,
         "resumed_cells": resumed,
+    }
+
+
+#: Benchmarks of the batched-kernel measurement.  The Figure 8 grid's
+#: variant axis supplies the machine lanes; two benchmarks keep the scalar
+#: reference pass (one interpreter loop per lane) affordable.
+_GRID_BATCH_BENCHMARKS = 2
+
+
+def _grid_batched_metrics(session: Session, names: List[str],
+                          budget: int) -> Dict[str, Any]:
+    """Batched multi-machine timing kernel vs the scalar per-cell path.
+
+    Replays the timing work of the Figure 8 grid (the machine-space sweep
+    the batched kernel exists for) over the first
+    ``_GRID_BATCH_BENCHMARKS`` benchmarks: the planner's
+    ``timing_batches`` groups every cell's machine into lanes over shared
+    decoded traces, each trace is materialised once through the (warm)
+    session, and the same lane set is then timed twice — one scalar
+    ``simulate_program`` per lane, and one ``BatchedTimingSimulator`` pass
+    per batch.  Per-lane outcomes (stats, or the admission error) are
+    compared for bit-identity, so the recorded speedup is only meaningful
+    when ``row_union_identical`` is true.
+    """
+    from ..grid.planner import plan_grid
+    from ..experiments.fig8_amplification import figure8_grid
+    from ..uarch.batch import DEFAULT_MAX_LANES, BatchedTimingSimulator
+    from ..uarch.config import ConfigError
+    from ..uarch.pipeline import TimingError, simulate_program
+
+    grid = figure8_grid(benchmarks=names[:_GRID_BATCH_BENCHMARKS],
+                        budget=budget)
+    batches = plan_grid(grid).timing_batches()
+    work = []
+    for batch in batches:
+        anchor = batch.lanes[0][0]
+        if batch.minigraph:
+            inputs = (session.rewritten(anchor),
+                      session.minigraph_trace(anchor), session.mgt(anchor),
+                      anchor.compressed_layout)
+        else:
+            inputs = (session.program(anchor),
+                      session.baseline_trace(anchor), None, False)
+        work.append((inputs, [config for _, config in batch.lanes]))
+    lanes = sum(len(configs) for _, configs in work)
+
+    def scalar_lane(program, trace, mgt, compressed, config):
+        try:
+            return simulate_program(program, trace, config, mgt=mgt,
+                                    compressed_layout=compressed)
+        except (ConfigError, TimingError) as error:
+            return (type(error).__name__, str(error))
+
+    start = time.perf_counter()
+    scalar_outcomes = []
+    for (program, trace, mgt, compressed), configs in work:
+        for config in configs:
+            scalar_outcomes.append(
+                scalar_lane(program, trace, mgt, compressed, config))
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_outcomes = []
+    for (program, trace, mgt, compressed), configs in work:
+        batch = BatchedTimingSimulator(program, trace, configs, mgt=mgt,
+                                       compressed_layout=compressed)
+        results = batch.run()
+        for lane in range(len(configs)):
+            error = batch.lane_errors.get(lane)
+            batched_outcomes.append(
+                results[lane] if error is None
+                else (type(error).__name__, str(error)))
+    batched_seconds = time.perf_counter() - start
+
+    def canonical(outcome):
+        return outcome if isinstance(outcome, tuple) \
+            else dataclasses.asdict(outcome)
+
+    identical = [canonical(item) for item in scalar_outcomes] \
+        == [canonical(item) for item in batched_outcomes]
+    peak_rss_kb: Optional[float] = None
+    peak_rss_kb_per_lane: Optional[float] = None
+    lanes_per_pass = lanes / len(batches) if batches else 0.0
+    if resource is not None:
+        peak_rss_kb = float(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        if sys.platform == "darwin":
+            peak_rss_kb /= 1024
+        if lanes_per_pass:
+            peak_rss_kb_per_lane = peak_rss_kb / lanes_per_pass
+    return {
+        "grid": grid.name,
+        "benchmarks": list(names[:_GRID_BATCH_BENCHMARKS]),
+        "cells": lanes,
+        "passes": len(batches),
+        "lanes_per_pass": lanes_per_pass,
+        "max_lanes": DEFAULT_MAX_LANES,
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "cells_per_second_scalar":
+            lanes / scalar_seconds if scalar_seconds else 0.0,
+        "cells_per_second_batched":
+            lanes / batched_seconds if batched_seconds else 0.0,
+        "speedup_vs_scalar":
+            scalar_seconds / batched_seconds if batched_seconds else 0.0,
+        "row_union_identical": identical,
+        "peak_rss_kb": peak_rss_kb,
+        "peak_rss_kb_per_lane": peak_rss_kb_per_lane,
     }
 
 
@@ -922,7 +1050,7 @@ def _fuzz_metrics() -> Dict[str, Any]:
 
     Two probes over a fixed seed block, so the figures are comparable
     across commits: pure generation (spec sampling + assembly into a
-    :class:`Program`) and full differential runs (all five oracles).
+    :class:`Program`) and full differential runs (all six oracles).
     """
     from ..fuzz import SynthSpec, generate_program, run_fuzz
 
@@ -949,6 +1077,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
                         trace_metrics: Dict[str, Any],
                         frontend_metrics: Dict[str, Any],
                         grid_metrics: Dict[str, Any],
+                        grid_batched_metrics: Dict[str, Any],
                         serve_metrics: Dict[str, Any],
                         fuzz_metrics: Dict[str, Any],
                         before: Optional[Dict[str, Any]]) -> str:
@@ -971,6 +1100,7 @@ def _write_bench_record(args: argparse.Namespace, session: Session,
         "trace": trace_metrics,
         "frontend": frontend_metrics,
         "grid": grid_metrics,
+        "grid_batched": grid_batched_metrics,
         "serve": serve_metrics,
         "fuzz": fuzz_metrics,
         # Cache context: with a warm artifact cache no simulation runs and

@@ -76,6 +76,9 @@ class SessionStats:
     rewrite_runs: int = 0
     mgt_builds: int = 0
     timing_runs: int = 0
+    batched_timing_passes: int = 0
+    batched_timing_lanes: int = 0
+    batched_timing_deduped: int = 0
     frontend_enumeration_seconds: float = 0.0
     frontend_selection_seconds: float = 0.0
     frontend_candidates: int = 0
@@ -97,6 +100,9 @@ class SessionStats:
                 "rewrite_runs": self.rewrite_runs,
                 "mgt_builds": self.mgt_builds,
                 "timing_runs": self.timing_runs,
+                "batched_timing_passes": self.batched_timing_passes,
+                "batched_timing_lanes": self.batched_timing_lanes,
+                "batched_timing_deduped": self.batched_timing_deduped,
                 "frontend_enumeration_seconds": self.frontend_enumeration_seconds,
                 "frontend_selection_seconds": self.frontend_selection_seconds,
                 "frontend_candidates": self.frontend_candidates,
@@ -114,6 +120,9 @@ class SessionStats:
         self.rewrite_runs += other.rewrite_runs
         self.mgt_builds += other.mgt_builds
         self.timing_runs += other.timing_runs
+        self.batched_timing_passes += other.batched_timing_passes
+        self.batched_timing_lanes += other.batched_timing_lanes
+        self.batched_timing_deduped += other.batched_timing_deduped
         self.frontend_enumeration_seconds += other.frontend_enumeration_seconds
         self.frontend_selection_seconds += other.frontend_selection_seconds
         self.frontend_candidates += other.frontend_candidates
@@ -379,6 +388,111 @@ class Session:
             return float("nan")
         return timing.ipc / baseline.ipc
 
+    def prime_timing(self, specs: Iterable[RunSpec], *,
+                     max_lanes: Optional[int] = None) -> int:
+        """Batched timing pre-pass: fill the scalar timing stage cache.
+
+        Groups the timing runs the given specs will need by their decoded
+        trace (baseline runs by profile identity, mini-graph runs by trace
+        identity + layout), then drives each group's not-yet-cached machine
+        configurations through one :class:`~repro.uarch.batch.
+        BatchedTimingSimulator` pass, ``max_lanes`` machines at a time.
+        Every lane's stats land in the store under the exact key
+        :meth:`baseline_timing` / :meth:`minigraph_timing` would use — the
+        batched kernel is bit-identical to ``simulate_program`` — so
+        subsequent :meth:`run` calls for these specs hit the cache instead
+        of paying the scalar per-cell interpreter loop.
+
+        Purely an optimisation: upstream (front-end) failures and
+        per-lane timing/admission errors leave those lanes unprimed, and
+        the scalar path surfaces the identical error at the cell that
+        owns it.  Returns the number of lanes primed.
+        """
+        from ..uarch.batch import DEFAULT_MAX_LANES, BatchedTimingSimulator
+        if max_lanes is None:
+            max_lanes = DEFAULT_MAX_LANES
+        if max_lanes < 1:
+            raise ValueError(f"max_lanes must be positive, got {max_lanes}")
+        specs = list(specs)
+        if self._remote is not None or not specs:
+            return 0
+        # Lane collection: one dict per shared decoded trace, keyed by the
+        # scalar stage-cache key (which folds in the resolved machine) so
+        # duplicate (trace, machine) requests collapse to one lane.
+        baseline_groups: Dict[Tuple[str, str, int],
+                              Dict[str, Tuple[RunSpec, MachineConfig]]] = {}
+        minigraph_groups: Dict[Tuple[Any, ...],
+                               Dict[str, Tuple[RunSpec, MachineConfig]]] = {}
+        for spec in specs:
+            profile_key = (spec.source_id, spec.input_name, spec.budget)
+            lanes = baseline_groups.setdefault(profile_key, {})
+            configs = [spec.resolved_baseline_machine]
+            if spec.policy is None:
+                configs.append(spec.resolved_machine)
+            for config in configs:
+                key = self._key("time_baseline", spec,
+                                extra=(config.resolve().key,))
+                lanes.setdefault(key, (spec, config))
+            if spec.policy is not None:
+                config = spec.resolved_machine
+                trace_key = spec.stage_material("trace") \
+                    + (spec.compressed_layout,)
+                key = self._key("time", spec,
+                                extra=("minigraph", config.resolve().key,
+                                       spec.compressed_layout))
+                minigraph_groups.setdefault(trace_key, {}) \
+                    .setdefault(key, (spec, config))
+        primed = 0
+        for lanes in baseline_groups.values():
+            primed += self._prime_group(lanes, minigraph=False,
+                                        max_lanes=max_lanes)
+        for lanes in minigraph_groups.values():
+            primed += self._prime_group(lanes, minigraph=True,
+                                        max_lanes=max_lanes)
+        return primed
+
+    def _prime_group(self, lanes: Dict[str, Tuple[RunSpec, MachineConfig]],
+                     *, minigraph: bool, max_lanes: int) -> int:
+        """Run one shared-trace lane group through the batched kernel."""
+        from ..uarch.batch import BatchedTimingSimulator
+        missing = [(key, spec, config) for key, (spec, config) in lanes.items()
+                   if key not in self._store]
+        if not missing:
+            return 0
+        anchor = missing[0][1]
+        try:
+            # Upstream stages run (or hit the cache) exactly as the scalar
+            # path would; any front-end failure is deferred to it.
+            if minigraph:
+                program = self.rewritten(anchor)
+                trace = self.minigraph_trace(anchor)
+                mgt = self.mgt(anchor)
+                compressed = anchor.compressed_layout
+            else:
+                program = self.program(anchor)
+                trace = self.baseline_trace(anchor)
+                mgt = None
+                compressed = False
+        except Exception:
+            return 0
+        primed = 0
+        for start in range(0, len(missing), max_lanes):
+            part = missing[start:start + max_lanes]
+            batch = BatchedTimingSimulator(
+                program, trace, [config for _, _, config in part],
+                mgt=mgt, compressed_layout=compressed)
+            results = batch.run()
+            self.stats.batched_timing_passes += 1
+            self.stats.batched_timing_lanes += len(part)
+            self.stats.batched_timing_deduped += batch.deduped_lanes
+            for lane, (key, _, _) in enumerate(part):
+                if lane in batch.lane_errors:
+                    continue        # scalar path re-raises at the owning cell
+                self._store.put(key, results[lane])
+                self.stats.timing_runs += 1
+                primed += 1
+        return primed
+
     # -- end-to-end ----------------------------------------------------------------
 
     def run(self, spec: RunSpec) -> RunArtifacts:
@@ -471,8 +585,10 @@ class Session:
                  for positions in positions_by_group], workers)
         if outcomes is None:
             # Serial (or pool-unavailable fallback): group order keeps each
-            # benchmark's shared artifacts hot in the memory cache.
+            # benchmark's shared artifacts hot in the memory cache, and the
+            # batched timing pre-pass runs each group's machines in one go.
             for positions in positions_by_group:
+                self.prime_timing(specs[position] for position in positions)
                 for position in positions:
                     results[position] = self.run(specs[position])
             return results  # type: ignore[return-value]
@@ -489,7 +605,8 @@ class Session:
         from ..grid.planner import plan_grid
         return plan_grid(grid)
 
-    def run_grid(self, grid, *, shard=None, resume=False, workers=None):
+    def run_grid(self, grid, *, shard=None, resume=False, workers=None,
+                 batch=True):
         """Execute a grid (or plan), streaming one row per cell.
 
         Thin front door to :func:`repro.grid.engine.run_grid`: supports
@@ -507,7 +624,7 @@ class Session:
             return self._remote_grid(grid, shard=shard, resume=resume)
         from ..grid.engine import run_grid
         return run_grid(self, grid, shard=shard, resume=resume,
-                        workers=workers)
+                        workers=workers, batch=batch)
 
     # -- remote execution (repro serve) ---------------------------------------------
 
@@ -610,5 +727,6 @@ def _run_group_job(job: Tuple[List[RunSpec], Optional[str], str]
     """Process-pool worker: run one artifact-sharing group in one session."""
     group, cache_dir, version = job
     session = Session(cache_dir=cache_dir, version=version)
+    session.prime_timing(group)
     artifacts = [session.run(spec) for spec in group]
     return artifacts, session.stats, session.cache_stats

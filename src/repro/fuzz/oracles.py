@@ -1,10 +1,10 @@
-"""The five differential oracles run against each generated program.
+"""The six differential oracles run against each generated program.
 
 Every oracle is a named pure function ``(FuzzContext) -> OracleResult``;
 :data:`ORACLES` is the pluggable registry the harness, the CLI and the
 corpus replayer all draw from.  A :class:`FuzzContext` lazily computes and
 memoizes the expensive intermediates (program, baseline functional run,
-selection, rewritten run), so running all five oracles on one seed costs a
+selection, rewritten run), so running all six oracles on one seed costs a
 single trip through the pipeline.
 
 The oracle matrix:
@@ -38,6 +38,16 @@ The oracle matrix:
     at construction/admission, or complete a timing run without
     deadlocking.  Any other exception — or hitting the cycle watchdog —
     is a finding.
+``batch``
+    The batched multi-machine kernel
+    (:class:`~repro.uarch.batch.BatchedTimingSimulator`) must be
+    lane-for-lane equivalent to scalar ``simulate_program``: identical
+    :class:`~repro.uarch.stats.PipelineStats` for every admissible lane,
+    and per-lane errors (admission ``ConfigError``, scheduler
+    ``TimingError``) matching the scalar exception by type and message
+    without poisoning sibling lanes.  Lanes mix the baseline machine with
+    seeded random geometries, so divergent widths/units/cache shapes ride
+    one pass.
 """
 
 from __future__ import annotations
@@ -357,6 +367,90 @@ def _geometry_summary(geometry: Dict[str, Any]) -> str:
     return ", ".join(parts)
 
 
+# -- oracle 6: batched kernel == scalar timing, lane for lane -------------------
+
+#: Random geometries mixed into each batched pass alongside the baseline
+#: machine — divergent lanes (widths, unit mixes, cache/predictor shapes,
+#: inadmissible fp_units=0 configs) are where batching can go wrong.
+_BATCH_SAMPLED_LANES = 3
+
+
+def _scalar_outcome(ctx: FuzzContext, program, trace, mgt,
+                    config: MachineConfig, watchdog: int):
+    """One scalar reference lane: its stats, or its (type, message) error."""
+    try:
+        simulator = TimingSimulator(program, trace, config, mgt=mgt)
+        return simulator.run(max_cycles=watchdog)
+    except (ConfigError, TimingError) as error:
+        return (type(error).__name__, str(error))
+
+
+def _batch_check(ctx: FuzzContext, program, trace, mgt, label: str,
+                 configs: Sequence[MachineConfig]) -> Optional[str]:
+    import dataclasses
+
+    from ..uarch.batch import BatchedTimingSimulator
+
+    watchdog = ctx.watchdog_cycles(len(trace))
+    expected = [_scalar_outcome(ctx, program, trace, mgt, config, watchdog)
+                for config in configs]
+    batch = BatchedTimingSimulator(program, trace, configs, mgt=mgt)
+    results = batch.run(max_cycles=watchdog)
+    for lane, expect in enumerate(expected):
+        error = batch.lane_errors.get(lane)
+        if isinstance(expect, tuple):
+            if error is None:
+                return (f"{label}: lane {lane} should have raised "
+                        f"{expect[0]} but produced stats")
+            got = (type(error).__name__, str(error))
+            if got != expect:
+                return (f"{label}: lane {lane} error mismatch: "
+                        f"batched {got} vs scalar {expect}")
+        elif error is not None:
+            return (f"{label}: lane {lane} raised "
+                    f"{type(error).__name__}: {error} but the scalar run "
+                    f"completed")
+        elif dataclasses.asdict(results[lane]) != dataclasses.asdict(expect):
+            diffs = [field.name for field in dataclasses.fields(expect)
+                     if getattr(results[lane], field.name)
+                     != getattr(expect, field.name)]
+            return (f"{label}: lane {lane} stats diverged from scalar "
+                    f"simulate_program in {', '.join(diffs)}")
+    return None
+
+
+def oracle_batch(ctx: FuzzContext) -> OracleResult:
+    rng = SplitMix64((ctx.spec.seed * 2 + 1) ^ 0xBA7C8ED51DE5EED5)
+    lanes: List[MachineConfig] = [baseline_config()]
+    for _ in range(_BATCH_SAMPLED_LANES):
+        geometry = sample_geometry(rng)
+        shape = geometry.get("dcache")
+        try:
+            if isinstance(shape, tuple):
+                from ..uarch.config import CacheConfig
+                geometry["dcache"] = CacheConfig(*shape)
+            config = MachineConfig(**geometry)
+            config.resolve()
+        except ConfigError:
+            continue        # construction-time rejection is geometry's domain
+        lanes.append(config)
+    problem = _batch_check(ctx, ctx.program, ctx.baseline.trace, None,
+                           "baseline", lanes)
+    if problem is None and ctx.selection.selected:
+        from ..api.spec import RunSpec
+
+        machine = RunSpec(benchmark=ctx.spec.name,
+                          policy=DEFAULT_POLICY).resolved_machine
+        # The handle-bearing trace with the policy machine first, then the
+        # same mixed lanes — inadmissible ones must error without poisoning
+        # this lane.
+        problem = _batch_check(ctx, ctx.rewritten, ctx.rewritten_run.trace,
+                               ctx.mgt, "minigraph", [machine] + lanes)
+    if problem is not None:
+        return OracleResult("batch", False, problem)
+    return OracleResult("batch", True)
+
+
 # -- registry -------------------------------------------------------------------
 
 ORACLES: Dict[str, Callable[[FuzzContext], OracleResult]] = {
@@ -365,17 +459,18 @@ ORACLES: Dict[str, Callable[[FuzzContext], OracleResult]] = {
     "timing": oracle_timing,
     "codec": oracle_codec,
     "geometry": oracle_geometry,
+    "batch": oracle_batch,
 }
 
 #: Canonical oracle order (cheap architectural checks before timing runs).
 ORACLE_NAMES: Tuple[str, ...] = ("rewrite", "selection", "codec", "timing",
-                                 "geometry")
+                                 "geometry", "batch")
 
 
 def run_oracles(spec: SynthSpec, *, oracles: Optional[Sequence[str]] = None,
                 input_name: str = "reference",
                 budget: Optional[int] = None) -> List[OracleResult]:
-    """Run the requested oracles (default: all five) against one spec."""
+    """Run the requested oracles (default: all six) against one spec."""
     names = tuple(oracles) if oracles is not None else ORACLE_NAMES
     unknown = [name for name in names if name not in ORACLES]
     if unknown:

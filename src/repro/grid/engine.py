@@ -162,16 +162,22 @@ def _row(cell: GridCell, payload: Dict[str, Any], *, resumed: bool) -> GridRow:
 
 
 #: One pool job: the stage's cells (index, point, spec — GridSpec builders
-#: never cross the process boundary), the shared cache directory, the version.
+#: never cross the process boundary), the shared cache directory, the
+#: version, and whether the batched timing pre-pass runs first.
 _StageJob = Tuple[List[Tuple[int, Tuple[Tuple[str, Any], ...], RunSpec]],
-                  Optional[str], str]
+                  Optional[str], str, bool]
 
 
 def _run_stage_job(job: _StageJob) -> Tuple[List[Tuple[int, Dict[str, Any]]],
                                             SessionStats, CacheStats]:
     """Process-pool worker: run one shared-artifact stage in one session."""
-    cells, cache_dir, version = job
+    cells, cache_dir, version, batch = job
     session = Session(cache_dir=cache_dir, version=version)
+    if batch:
+        # Batched timing pre-pass: every machine in this stage rides one
+        # BatchedTimingSimulator pass over the shared decoded trace, so the
+        # per-cell run() calls below hit the timing stage cache.
+        session.prime_timing([spec for _, _, spec in cells])
     rows: List[Tuple[int, Dict[str, Any]]] = []
     for index, point, spec in cells:
         payload = _cell_payload(session.run(spec))
@@ -183,7 +189,8 @@ def _run_stage_job(job: _StageJob) -> Tuple[List[Tuple[int, Dict[str, Any]]],
 def run_grid(session: Session, grid: Union[GridSpec, GridPlan], *,
              shard: Optional[Tuple[int, int]] = None,
              resume: bool = False,
-             workers: Optional[int] = None) -> Iterator[GridRow]:
+             workers: Optional[int] = None,
+             batch: bool = True) -> Iterator[GridRow]:
     """Execute a grid (or a prepared plan), streaming rows in plan order.
 
     Args:
@@ -197,6 +204,10 @@ def run_grid(session: Session, grid: Union[GridSpec, GridPlan], *,
         workers: process-pool width (0/1 = serial in the parent session,
             where the plan's grouping keeps shared artifacts hot in the
             memory cache).
+        batch: drive each stage's timing runs through the batched
+            multi-machine kernel (:meth:`Session.prime_timing`) before the
+            per-cell loop; rows stay bit-identical to the scalar path
+            (``batch=False``).
     """
     plan = grid if isinstance(grid, GridPlan) else plan_grid(grid)
     if shard is not None:
@@ -218,7 +229,7 @@ def run_grid(session: Session, grid: Union[GridSpec, GridPlan], *,
                 remaining.append(cell)
         pending.append(_PendingStage(stage, remaining, served))
 
-    for stage_rows in _execute(session, pending, workers):
+    for stage_rows in _execute(session, pending, workers, batch):
         for row in sorted(stage_rows, key=lambda row: row.index):
             yield row
 
@@ -233,12 +244,12 @@ class _PendingStage:
 
 
 def _execute(session: Session, pending: List[_PendingStage],
-             workers: Optional[int]) -> Iterator[List[GridRow]]:
+             workers: Optional[int], batch: bool) -> Iterator[List[GridRow]]:
     """Yield each stage's complete row list (resumed + computed), in order."""
     jobs = [entry.cells for entry in pending if entry.cells]
     resolved = session._resolve_workers(workers, len(jobs))
     if resolved > 1 and len(jobs) > 1:
-        outcomes = _pool_outcomes(session, jobs, resolved)
+        outcomes = _pool_outcomes(session, jobs, resolved, batch)
         if outcomes is not None:
             yield from _merge_pool_outcomes(session, pending, outcomes)
             return
@@ -247,6 +258,8 @@ def _execute(session: Session, pending: List[_PendingStage],
     version = session.version
     for entry in pending:
         rows = list(entry.served)
+        if batch and entry.cells:
+            session.prime_timing([cell.spec for cell in entry.cells])
         for cell in entry.cells:
             payload = _cell_payload(session.run(cell.spec))
             session.store.put(cell_key(cell.spec, version), payload)
@@ -255,14 +268,14 @@ def _execute(session: Session, pending: List[_PendingStage],
 
 
 def _pool_outcomes(session: Session, jobs: List[List[GridCell]],
-                   workers: int):
+                   workers: int, batch: bool):
     """An ordered, streaming iterator of stage-job results — or ``None``
     when process pools are unavailable in the environment."""
     cache_dir = session.store.cache_dir
     cache_dir_name = None if cache_dir is None else str(cache_dir)
     payloads: List[_StageJob] = [
         ([(cell.index, cell.point, cell.spec) for cell in cells],
-         cache_dir_name, session.version)
+         cache_dir_name, session.version, batch)
         for cells in jobs]
     pool = None
     try:

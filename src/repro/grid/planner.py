@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..api.keys import canonical_key
+from ..api.spec import RunSpec
 from .spec import GridCell, GridError, GridSpec
 
 
@@ -102,6 +103,18 @@ class GridPlan:
         """Every planned cell, stage-major in execution order."""
         return [cell for stage in self.stages for cell in stage.cells]
 
+    def timing_batches(self, max_lanes: Optional[int] = None
+                       ) -> List["TimingBatch"]:
+        """The machine-batched timing passes this plan's cells will ride.
+
+        One batch per (shared decoded trace, ≤ ``max_lanes`` machines);
+        see :func:`timing_batches`.  Batches are planned per stage — a
+        stage is the unit shipped to one worker, so lanes never batch
+        across stage boundaries.
+        """
+        return [batch for stage in self.stages
+                for batch in timing_batches(stage.cells, max_lanes)]
+
     def take_shard(self, index: int, count: int) -> "GridPlan":
         """Shard ``index`` of ``count``: every ``count``-th stage.
 
@@ -129,6 +142,72 @@ class GridPlan:
             "shard": None if self.shard is None
                      else f"{self.shard[0]}/{self.shard[1]}",
         }
+
+
+@dataclass
+class TimingBatch:
+    """One batched timing pass: machine lanes sharing a decoded trace.
+
+    ``trace_key`` identifies the shared trace artifact (profile identity
+    for baseline lanes, trace identity + layout for mini-graph lanes);
+    ``lanes`` holds one ``(spec, machine)`` pair per distinct machine the
+    pass simulates.  This is the planner's view of what
+    :meth:`repro.api.session.Session.prime_timing` executes — inspectable
+    before anything runs, and already partitioned to ``max_lanes`` so the
+    per-pass memory bound is visible in the plan.
+    """
+
+    trace_key: Tuple[Any, ...]
+    minigraph: bool
+    lanes: List[Tuple[RunSpec, Any]]   # (owning spec, machine config)
+
+    @property
+    def lane_count(self) -> int:
+        return len(self.lanes)
+
+
+def timing_batches(cells_or_specs: Iterable[Any],
+                   max_lanes: Optional[int] = None) -> List[TimingBatch]:
+    """Group the timing runs of cells (or bare specs) into batched passes.
+
+    Mirrors the runtime grouping of :meth:`Session.prime_timing`: baseline
+    timing lanes batch by profile identity ``(source, input, budget)``,
+    mini-graph lanes by trace identity + compressed layout, duplicate
+    (trace, machine) lanes collapse, and each group is split into passes of
+    at most ``max_lanes`` machines (default
+    :data:`repro.uarch.batch.DEFAULT_MAX_LANES`) to bound per-pass memory.
+    Deterministic: groups appear in first-lane order, lanes in input order.
+    """
+    from ..uarch.batch import DEFAULT_MAX_LANES
+    if max_lanes is None:
+        max_lanes = DEFAULT_MAX_LANES
+    if max_lanes < 1:
+        raise GridError(f"max_lanes must be positive, got {max_lanes}")
+    groups: Dict[Tuple[Any, ...], Dict[Any, Tuple[RunSpec, Any]]] = {}
+    for item in cells_or_specs:
+        spec = item.spec if isinstance(item, GridCell) else item
+        base_key = ("baseline",) + spec.stage_material("time_baseline")
+        lanes = groups.setdefault(base_key, {})
+        configs = [spec.resolved_baseline_machine]
+        if spec.policy is None:
+            configs.append(spec.resolved_machine)
+        for config in configs:
+            lanes.setdefault(config.resolve().key, (spec, config))
+        if spec.policy is not None:
+            config = spec.resolved_machine
+            mg_key = ("minigraph",) + spec.stage_material("trace") \
+                + (spec.compressed_layout,)
+            groups.setdefault(mg_key, {}) \
+                .setdefault(config.resolve().key, (spec, config))
+    batches: List[TimingBatch] = []
+    for trace_key, lane_map in groups.items():
+        lanes = list(lane_map.values())
+        for start in range(0, len(lanes), max_lanes):
+            batches.append(TimingBatch(
+                trace_key=trace_key,
+                minigraph=trace_key[0] == "minigraph",
+                lanes=lanes[start:start + max_lanes]))
+    return batches
 
 
 def plan_cells(cells: Iterable[GridCell],

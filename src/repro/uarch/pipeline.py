@@ -79,6 +79,18 @@ _BLOCKED = 1
 _SLOT_LOST = 2
 
 
+def fp_admission_error(config: MachineConfig, program: Program) -> ConfigError:
+    """The admission error for an FP trace on a machine with no FP units.
+
+    Shared between the scalar simulator and the batched kernel so a lane
+    rejected at batch construction raises exactly the scalar error.
+    """
+    return ConfigError(
+        f"machine {config.name!r} has fp_units=0 but the trace for "
+        f"{program.name!r} contains floating-point instructions; "
+        f"they could never issue")
+
+
 class TimingError(RuntimeError):
     """Raised for inconsistent timing-model configurations."""
 
@@ -170,10 +182,7 @@ class TimingSimulator:
         # oracle: see tests/test_fuzz.py quarantined-geometry regressions.)
         if config.fp_units == 0 and any(op.kind == KIND_FP
                                         for op in self._feed):
-            raise ConfigError(
-                f"machine {config.name!r} has fp_units=0 but the trace for "
-                f"{program.name!r} contains floating-point instructions; "
-                f"they could never issue")
+            raise fp_admission_error(config, program)
         # The packed trace columns, read directly by the fetch stage — no
         # per-entry record is ever materialized on the replay path.
         columns = trace.columns()

@@ -1,0 +1,252 @@
+"""The batched multi-machine timing kernel: bit-identity with the scalar path.
+
+``BatchedTimingSimulator`` drives one decoded columnar trace through many
+``MachineConfig`` lanes per pass; everything the grid engine builds on it —
+``Session.prime_timing``, the planner's ``timing_batches``, ``run_grid``'s
+batched stages — promises rows *bit-identical* to scalar
+``simulate_program``.  These tests pin that promise: golden-stats identity,
+per-lane equality across the full divergent-geometry machine catalog,
+lane-partition boundaries (1, M, M+1 machines), per-lane admission-error
+isolation (one ``fp_units=0`` lane must not poison its siblings), and
+``--resume`` interop between scalar- and batched-produced row artifacts in
+both directions.
+"""
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro import prepare_minigraph_run
+from repro.api import RunSpec, Session
+from repro.grid.planner import timing_batches
+from repro.sim.functional import run_program
+from repro.uarch.batch import (
+    DEFAULT_MAX_LANES,
+    BatchedTimingSimulator,
+    simulate_many,
+)
+from repro.uarch.catalog import machine_config, machine_names
+from repro.uarch.config import ConfigError, baseline_config
+from repro.uarch.pipeline import TimingError, simulate_program
+from repro.workloads import load_benchmark
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "timing_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+BUDGET = 3_000
+
+
+def _stats_equal(a, b) -> bool:
+    return dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def _scalar_outcomes(program, trace, configs, **kwargs):
+    """Reference lane outcomes: stats, or the (type, message) of the error."""
+    outcomes = []
+    for config in configs:
+        try:
+            outcomes.append(simulate_program(program, trace, config, **kwargs))
+        except (ConfigError, TimingError) as error:
+            outcomes.append((type(error).__name__, str(error)))
+    return outcomes
+
+
+class TestGoldenIdentity:
+    """Batched timing must reproduce the pinned golden statistics."""
+
+    @pytest.mark.parametrize("workload", sorted(GOLDEN))
+    def test_primed_timing_matches_golden_stats(self, workload):
+        expected = GOLDEN[workload]
+        session = Session()
+        spec = RunSpec(benchmark=workload, budget=expected["budget"])
+        primed = session.prime_timing([spec])
+        assert primed >= 2                     # baseline + mini-graph lanes
+        assert session.stats.batched_timing_passes >= 2
+        timing_runs_after_prime = session.stats.timing_runs
+        artifacts = session.run(spec)
+        # The run must be served from the primed cache — no scalar timing.
+        assert session.stats.timing_runs == timing_runs_after_prime
+        assert artifacts.baseline_timing.as_dict() == expected["baseline"], \
+            f"{workload}: batched baseline timing diverged from golden"
+        assert artifacts.timing.as_dict() == expected["minigraph"], \
+            f"{workload}: batched mini-graph timing diverged from golden"
+
+
+class TestCatalogEquivalence:
+    """Every catalog machine, as one divergent-geometry batched pass."""
+
+    def test_baseline_trace_all_catalog_machines(self):
+        program = load_benchmark("bitcount", "reference")
+        trace = run_program(program, max_instructions=BUDGET).trace
+        configs = [machine_config(name) for name in machine_names()]
+        expected = _scalar_outcomes(program, trace, configs)
+        batch = BatchedTimingSimulator(program, trace, configs)
+        results = batch.run()
+        assert not batch.lane_errors
+        for lane, expect in enumerate(expected):
+            assert _stats_equal(results[lane], expect), \
+                f"lane {lane} ({configs[lane].name}) diverged from scalar"
+
+    @pytest.mark.parametrize("compressed", (False, True))
+    def test_minigraph_trace_lane_errors_match_scalar(self, compressed):
+        """Handle-bearing traces: stats and per-lane errors both match."""
+        program = load_benchmark("crc", "reference")
+        run = prepare_minigraph_run(program, budget=BUDGET)
+        configs = [machine_config(name) for name in machine_names()]
+        expected = _scalar_outcomes(run.rewritten, run.rewritten_result.trace,
+                                    configs, mgt=run.mgt,
+                                    compressed_layout=compressed)
+        batch = BatchedTimingSimulator(run.rewritten,
+                                       run.rewritten_result.trace, configs,
+                                       mgt=run.mgt,
+                                       compressed_layout=compressed)
+        results = batch.run()
+        # The catalog mixes handle-capable and plain machines, so some lanes
+        # must reject the handle trace — exactly as the scalar path does.
+        assert any(isinstance(item, tuple) for item in expected)
+        for lane, expect in enumerate(expected):
+            error = batch.lane_errors.get(lane)
+            if isinstance(expect, tuple):
+                assert error is not None, \
+                    f"lane {lane} should have raised {expect[0]}"
+                assert (type(error).__name__, str(error)) == expect
+            else:
+                assert error is None, f"lane {lane}: unexpected {error!r}"
+                assert _stats_equal(results[lane], expect), \
+                    f"lane {lane} ({configs[lane].name}) diverged from scalar"
+
+    def test_simulate_many_single_lane_equals_simulate_program(self):
+        program = load_benchmark("fnvmix", "reference")
+        trace = run_program(program, max_instructions=BUDGET).trace
+        config = baseline_config()
+        [stats] = simulate_many(program, trace, [config])
+        assert _stats_equal(stats, simulate_program(program, trace, config))
+
+
+class TestLanePartitioning:
+    """1, M and M+1 machines split into bounded passes with identical rows."""
+
+    def _specs(self, count):
+        # Distinct resolved identities only: the lane collector collapses
+        # machines that differ in display name alone (e.g. the catalog's
+        # baseline vs prf164), which would under-fill the partitions.
+        configs, seen = [], set()
+        for name in machine_names():
+            config = machine_config(name)
+            key = config.resolve().key
+            if key not in seen:
+                seen.add(key)
+                configs.append(config)
+        assert len(configs) > DEFAULT_MAX_LANES   # M+1 is a real boundary
+        configs = configs[:count]
+        return [RunSpec(benchmark="bitcount", budget=BUDGET, policy=None,
+                        machine=config, baseline_machine=config)
+                for config in configs]
+
+    @pytest.mark.parametrize("count", (1, DEFAULT_MAX_LANES,
+                                       DEFAULT_MAX_LANES + 1))
+    def test_boundary_counts_prime_identical_stats(self, count):
+        specs = self._specs(count)
+        session = Session()
+        primed = session.prime_timing(specs)
+        assert primed == count
+        assert session.stats.batched_timing_passes \
+            == math.ceil(count / DEFAULT_MAX_LANES)
+        assert session.stats.batched_timing_lanes == count
+        scalar = Session()
+        for spec in specs:
+            batched = session.run(spec).timing
+            reference = scalar.run(spec).timing
+            assert _stats_equal(batched, reference)
+
+    def test_planner_timing_batches_partition(self):
+        specs = self._specs(DEFAULT_MAX_LANES + 1)
+        batches = timing_batches(specs)
+        assert [batch.lane_count for batch in batches] \
+            == [DEFAULT_MAX_LANES, 1]
+        assert all(not batch.minigraph for batch in batches)
+        # Lane order is deterministic: input order, duplicates collapsed.
+        assert batches == timing_batches(specs)
+
+    def test_max_lanes_one_degenerates_to_scalar_batches(self):
+        specs = self._specs(3)
+        batches = timing_batches(specs, max_lanes=1)
+        assert [batch.lane_count for batch in batches] == [1, 1, 1]
+
+
+class TestAdmissionIsolation:
+    """One inadmissible lane raises for itself without poisoning siblings."""
+
+    def _fp_program(self):
+        from repro.fuzz.generator import SynthSpec, generate_program
+        spec = SynthSpec.sample(1004).with_dials(fp_density=40)
+        program = generate_program(spec, "reference")
+        trace = run_program(program, max_instructions=10_000).trace
+        return program, trace
+
+    def test_fp_units_zero_lane_errors_alone(self):
+        program, trace = self._fp_program()
+        good = baseline_config()
+        bad = dataclasses.replace(good, name="fp-less", fp_units=0)
+        batch = BatchedTimingSimulator(program, trace, [good, bad, good])
+        results = batch.run()
+        assert set(batch.lane_errors) == {1}
+        error = batch.lane_errors[1]
+        assert isinstance(error, ConfigError)
+        # The error is the scalar admission error, verbatim.
+        with pytest.raises(ConfigError) as scalar:
+            simulate_program(program, trace, bad)
+        assert str(error) == str(scalar.value)
+        reference = simulate_program(program, trace, good)
+        assert _stats_equal(results[0], reference)
+        assert _stats_equal(results[2], reference)
+
+    def test_simulate_many_raises_first_lane_error(self):
+        program, trace = self._fp_program()
+        bad = dataclasses.replace(baseline_config(), name="fp-less",
+                                  fp_units=0)
+        with pytest.raises(ConfigError):
+            simulate_many(program, trace, [baseline_config(), bad])
+
+
+class TestResumeInterop:
+    """Row artifacts are shared currency between scalar and batched runs."""
+
+    def _grid(self):
+        from repro.grid import Axis, GridSpec
+        from repro.minigraph.policies import DEFAULT_POLICY
+
+        axes = (Axis("benchmark", ("bitcount", "crc")),
+                Axis("mode", ("int-mem", "baseline")))
+
+        def build(point):
+            policy = DEFAULT_POLICY if point["mode"] == "int-mem" else None
+            return RunSpec(benchmark=point["benchmark"], budget=BUDGET,
+                           policy=policy)
+
+        return GridSpec(name="interop-grid", axes=axes, build=build)
+
+    @pytest.mark.parametrize("first_batched", (True, False))
+    def test_resume_across_kernels_both_directions(self, tmp_path,
+                                                   first_batched):
+        grid = self._grid()
+        cache = tmp_path / "cache"
+        with Session(cache_dir=cache) as producer:
+            fresh = list(producer.run_grid(grid, workers=0,
+                                           batch=first_batched))
+        with Session(cache_dir=cache) as consumer:
+            resumed = list(consumer.run_grid(grid, workers=0, resume=True,
+                                             batch=not first_batched))
+        assert all(row.resumed for row in resumed)
+        assert [row.as_dict() | {"resumed": False} for row in resumed] \
+            == [row.as_dict() for row in fresh]
+
+    def test_batched_and_scalar_rows_are_bit_identical(self):
+        grid = self._grid()
+        batched = list(Session().run_grid(grid, workers=0, batch=True))
+        scalar = list(Session().run_grid(grid, workers=0, batch=False))
+        assert [row.as_dict() for row in batched] \
+            == [row.as_dict() for row in scalar]

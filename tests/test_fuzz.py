@@ -6,7 +6,7 @@ Four families of guarantees:
   is bit-identical across generator instantiations, and generation never
   touches Python's global ``random`` state;
 * **the corpus stands** — every committed ``tests/corpus/*.json`` entry
-  replays clean under all five oracles (starter seeds span the dial space;
+  replays clean under all six oracles (starter seeds span the dial space;
   repro entries pin fixed bugs);
 * **the oracles have teeth** — a deliberately injected selection-ordering
   bug is caught within the CI smoke budget of 64 seeds, and the failing
@@ -236,9 +236,10 @@ class TestOracleSensitivity:
         assert persisted and persisted[0].spec == failure.shrunk
 
     def test_clean_campaign(self):
+        from repro.fuzz import ORACLE_NAMES
         report = run_fuzz(4)
         assert report.ok
-        assert report.differential_runs == 4 * 5
+        assert report.differential_runs == 4 * len(ORACLE_NAMES)
 
 
 # -- quarantined geometries ---------------------------------------------------------
