@@ -79,6 +79,8 @@ class SessionStats:
     batched_timing_passes: int = 0
     batched_timing_lanes: int = 0
     batched_timing_deduped: int = 0
+    batched_timing_cross_trace_lanes: int = 0
+    batched_timing_shared_trace_lanes: int = 0
     frontend_enumeration_seconds: float = 0.0
     frontend_selection_seconds: float = 0.0
     frontend_candidates: int = 0
@@ -93,6 +95,18 @@ class SessionStats:
         """Functional plus timing simulations actually executed."""
         return self.functional_runs + self.timing_runs
 
+    @property
+    def batched_timing_lanes_per_pass(self) -> float:
+        """Mean active lanes per batched pass (0.0 when nothing batched).
+
+        The occupancy headline: cross-trace packing exists so this stays
+        near ``max_lanes`` even when no single trace has that many
+        machines.  Derived, so it survives :meth:`merge` aggregation.
+        """
+        if not self.batched_timing_passes:
+            return 0.0
+        return self.batched_timing_lanes / self.batched_timing_passes
+
     def as_dict(self) -> Dict[str, Any]:
         return {"assemble_runs": self.assemble_runs,
                 "functional_runs": self.functional_runs,
@@ -103,6 +117,10 @@ class SessionStats:
                 "batched_timing_passes": self.batched_timing_passes,
                 "batched_timing_lanes": self.batched_timing_lanes,
                 "batched_timing_deduped": self.batched_timing_deduped,
+                "batched_timing_cross_trace_lanes":
+                    self.batched_timing_cross_trace_lanes,
+                "batched_timing_shared_trace_lanes":
+                    self.batched_timing_shared_trace_lanes,
                 "frontend_enumeration_seconds": self.frontend_enumeration_seconds,
                 "frontend_selection_seconds": self.frontend_selection_seconds,
                 "frontend_candidates": self.frontend_candidates,
@@ -123,6 +141,10 @@ class SessionStats:
         self.batched_timing_passes += other.batched_timing_passes
         self.batched_timing_lanes += other.batched_timing_lanes
         self.batched_timing_deduped += other.batched_timing_deduped
+        self.batched_timing_cross_trace_lanes += \
+            other.batched_timing_cross_trace_lanes
+        self.batched_timing_shared_trace_lanes += \
+            other.batched_timing_shared_trace_lanes
         self.frontend_enumeration_seconds += other.frontend_enumeration_seconds
         self.frontend_selection_seconds += other.frontend_selection_seconds
         self.frontend_candidates += other.frontend_candidates
@@ -394,21 +416,30 @@ class Session:
 
         Groups the timing runs the given specs will need by their decoded
         trace (baseline runs by profile identity, mini-graph runs by trace
-        identity + layout), then drives each group's not-yet-cached machine
-        configurations through one :class:`~repro.uarch.batch.
-        BatchedTimingSimulator` pass, ``max_lanes`` machines at a time.
-        Every lane's stats land in the store under the exact key
-        :meth:`baseline_timing` / :meth:`minigraph_timing` would use — the
-        batched kernel is bit-identical to ``simulate_program`` — so
-        subsequent :meth:`run` calls for these specs hit the cache instead
-        of paying the scalar per-cell interpreter loop.
+        identity + layout), filters each group down to its *cache-miss*
+        lanes, then bin-packs the surviving lane groups globally —
+        longest estimated trace first, remainders riding in other groups'
+        leftover cells — into cross-trace passes of at most ``max_lanes``
+        lanes, each driven through one :meth:`~repro.uarch.batch.
+        BatchedTimingSimulator.from_lanes` pass.  Every lane's stats land
+        in the store under the exact key :meth:`baseline_timing` /
+        :meth:`minigraph_timing` would use — the batched kernel is
+        bit-identical to ``simulate_program`` — so subsequent :meth:`run`
+        calls for these specs hit the cache instead of paying the scalar
+        per-cell interpreter loop.
 
-        Purely an optimisation: upstream (front-end) failures and
-        per-lane timing/admission errors leave those lanes unprimed, and
-        the scalar path surfaces the identical error at the cell that
-        owns it.  Returns the number of lanes primed.
+        Purely an optimisation: upstream (front-end) failures drop that
+        trace's lanes from the pack, per-lane timing/admission errors
+        leave those lanes unprimed, and the scalar path surfaces the
+        identical error at the cell that owns it.  Returns the number of
+        lanes primed.
         """
-        from ..uarch.batch import DEFAULT_MAX_LANES, BatchedTimingSimulator
+        from ..grid.planner import pack_lane_groups
+        from ..uarch.batch import (
+            DEFAULT_MAX_LANES,
+            BatchedTimingSimulator,
+            TimingLane,
+        )
         if max_lanes is None:
             max_lanes = DEFAULT_MAX_LANES
         if max_lanes < 1:
@@ -416,16 +447,17 @@ class Session:
         specs = list(specs)
         if self._remote is not None or not specs:
             return 0
-        # Lane collection: one dict per shared decoded trace, keyed by the
-        # scalar stage-cache key (which folds in the resolved machine) so
-        # duplicate (trace, machine) requests collapse to one lane.
-        baseline_groups: Dict[Tuple[str, str, int],
-                              Dict[str, Tuple[RunSpec, MachineConfig]]] = {}
-        minigraph_groups: Dict[Tuple[Any, ...],
-                               Dict[str, Tuple[RunSpec, MachineConfig]]] = {}
+        # Lane collection: one dict per decoded trace, keyed by the scalar
+        # stage-cache key (which folds in the resolved machine) so duplicate
+        # (trace, machine) requests collapse to one lane.  Group keys are
+        # namespaced so a baseline profile and a mini-graph trace of the
+        # same spec stay distinct groups (they decode different traces).
+        groups: Dict[Tuple[Any, ...],
+                     Dict[str, Tuple[RunSpec, MachineConfig]]] = {}
         for spec in specs:
-            profile_key = (spec.source_id, spec.input_name, spec.budget)
-            lanes = baseline_groups.setdefault(profile_key, {})
+            profile_key = ("baseline", spec.source_id, spec.input_name,
+                           spec.budget)
+            lanes = groups.setdefault(profile_key, {})
             configs = [spec.resolved_baseline_machine]
             if spec.policy is None:
                 configs.append(spec.resolved_machine)
@@ -435,57 +467,65 @@ class Session:
                 lanes.setdefault(key, (spec, config))
             if spec.policy is not None:
                 config = spec.resolved_machine
-                trace_key = spec.stage_material("trace") \
+                trace_key = ("minigraph",) + spec.stage_material("trace") \
                     + (spec.compressed_layout,)
                 key = self._key("time", spec,
                                 extra=("minigraph", config.resolve().key,
                                        spec.compressed_layout))
-                minigraph_groups.setdefault(trace_key, {}) \
+                groups.setdefault(trace_key, {}) \
                     .setdefault(key, (spec, config))
-        primed = 0
-        for lanes in baseline_groups.values():
-            primed += self._prime_group(lanes, minigraph=False,
-                                        max_lanes=max_lanes)
-        for lanes in minigraph_groups.values():
-            primed += self._prime_group(lanes, minigraph=True,
-                                        max_lanes=max_lanes)
-        return primed
-
-    def _prime_group(self, lanes: Dict[str, Tuple[RunSpec, MachineConfig]],
-                     *, minigraph: bool, max_lanes: int) -> int:
-        """Run one shared-trace lane group through the batched kernel."""
-        from ..uarch.batch import BatchedTimingSimulator
-        missing = [(key, spec, config) for key, (spec, config) in lanes.items()
-                   if key not in self._store]
-        if not missing:
+        # Cache-miss filter first, then resolve each surviving group's trace
+        # once; upstream stages run (or hit the cache) exactly as the scalar
+        # path would, and any front-end failure drops the group (deferred to
+        # the scalar path, which surfaces it at the owning cell).
+        resolved: List[Tuple[List[Tuple[str, RunSpec, MachineConfig]],
+                             Program, Trace,
+                             Optional[MiniGraphTable], bool]] = []
+        for group_key, lanes in groups.items():
+            missing = [(key, spec, config)
+                       for key, (spec, config) in lanes.items()
+                       if key not in self._store]
+            if not missing:
+                continue
+            anchor = missing[0][1]
+            try:
+                if group_key[0] == "minigraph":
+                    program = self.rewritten(anchor)
+                    trace = self.minigraph_trace(anchor)
+                    mgt = self.mgt(anchor)
+                    compressed = anchor.compressed_layout
+                else:
+                    program = self.program(anchor)
+                    trace = self.baseline_trace(anchor)
+                    mgt = None
+                    compressed = False
+            except Exception:
+                continue
+            resolved.append((missing, program, trace, mgt, compressed))
+        if not resolved:
             return 0
-        anchor = missing[0][1]
-        try:
-            # Upstream stages run (or hit the cache) exactly as the scalar
-            # path would; any front-end failure is deferred to it.
-            if minigraph:
-                program = self.rewritten(anchor)
-                trace = self.minigraph_trace(anchor)
-                mgt = self.mgt(anchor)
-                compressed = anchor.compressed_layout
-            else:
-                program = self.program(anchor)
-                trace = self.baseline_trace(anchor)
-                mgt = None
-                compressed = False
-        except Exception:
-            return 0
+        bins = pack_lane_groups([(len(missing), missing[0][1].budget)
+                                 for missing, *_ in resolved], max_lanes)
         primed = 0
-        for start in range(0, len(missing), max_lanes):
-            part = missing[start:start + max_lanes]
-            batch = BatchedTimingSimulator(
-                program, trace, [config for _, _, config in part],
-                mgt=mgt, compressed_layout=compressed)
+        for chunks in bins:
+            part: List[Tuple[str, TimingLane]] = []
+            for index, start, stop in chunks:
+                missing, program, trace, mgt, compressed = resolved[index]
+                part.extend(
+                    (key, TimingLane(program, trace, config, mgt=mgt,
+                                     compressed_layout=compressed))
+                    for key, _, config in missing[start:stop])
+            batch = BatchedTimingSimulator.from_lanes(
+                [lane for _, lane in part])
             results = batch.run()
             self.stats.batched_timing_passes += 1
             self.stats.batched_timing_lanes += len(part)
             self.stats.batched_timing_deduped += batch.deduped_lanes
-            for lane, (key, _, _) in enumerate(part):
+            if batch.cross_trace:
+                self.stats.batched_timing_cross_trace_lanes += len(part)
+            else:
+                self.stats.batched_timing_shared_trace_lanes += len(part)
+            for lane, (key, _) in enumerate(part):
                 if lane in batch.lane_errors:
                     continue        # scalar path re-raises at the owning cell
                 self._store.put(key, results[lane])
@@ -606,12 +646,13 @@ class Session:
         return plan_grid(grid)
 
     def run_grid(self, grid, *, shard=None, resume=False, workers=None,
-                 batch=True):
+                 batch=True, max_lanes=None):
         """Execute a grid (or plan), streaming one row per cell.
 
         Thin front door to :func:`repro.grid.engine.run_grid`: supports
         ``shard=(index, count)`` stage-partitioning, ``resume=True`` (serve
-        cells whose terminal row artifact is already stored) and the same
+        cells whose terminal row artifact is already stored), a
+        ``max_lanes`` override for the batched timing passes, and the same
         process-pool fan-out/accounting as :meth:`sweep`.  Returns a lazy
         iterator of :class:`~repro.grid.engine.GridRow`.
 
@@ -624,7 +665,7 @@ class Session:
             return self._remote_grid(grid, shard=shard, resume=resume)
         from ..grid.engine import run_grid
         return run_grid(self, grid, shard=shard, resume=resume,
-                        workers=workers, batch=batch)
+                        workers=workers, batch=batch, max_lanes=max_lanes)
 
     # -- remote execution (repro serve) ---------------------------------------------
 

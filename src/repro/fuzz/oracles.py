@@ -47,7 +47,10 @@ The oracle matrix:
     ``TimingError``) matching the scalar exception by type and message
     without poisoning sibling lanes.  Lanes mix the baseline machine with
     seeded random geometries, so divergent widths/units/cache shapes ride
-    one pass.
+    one pass.  A final cross-trace pass batches 2–4 sibling synth programs
+    of deliberately skewed trace lengths — plus the campaign's own baseline
+    and mini-graph traces — through one ``from_lanes`` call and checks each
+    lane against its own scalar reference.
 """
 
 from __future__ import annotations
@@ -385,10 +388,34 @@ def _scalar_outcome(ctx: FuzzContext, program, trace, mgt,
         return (type(error).__name__, str(error))
 
 
-def _batch_check(ctx: FuzzContext, program, trace, mgt, label: str,
-                 configs: Sequence[MachineConfig]) -> Optional[str]:
+def _compare_lane(label: str, lane: int, expect, error, result
+                  ) -> Optional[str]:
+    """One lane's batched outcome against its scalar reference."""
     import dataclasses
 
+    if isinstance(expect, tuple):
+        if error is None:
+            return (f"{label}: lane {lane} should have raised "
+                    f"{expect[0]} but produced stats")
+        got = (type(error).__name__, str(error))
+        if got != expect:
+            return (f"{label}: lane {lane} error mismatch: "
+                    f"batched {got} vs scalar {expect}")
+    elif error is not None:
+        return (f"{label}: lane {lane} raised "
+                f"{type(error).__name__}: {error} but the scalar run "
+                f"completed")
+    elif dataclasses.asdict(result) != dataclasses.asdict(expect):
+        diffs = [field.name for field in dataclasses.fields(expect)
+                 if getattr(result, field.name)
+                 != getattr(expect, field.name)]
+        return (f"{label}: lane {lane} stats diverged from scalar "
+                f"simulate_program in {', '.join(diffs)}")
+    return None
+
+
+def _batch_check(ctx: FuzzContext, program, trace, mgt, label: str,
+                 configs: Sequence[MachineConfig]) -> Optional[str]:
     from ..uarch.batch import BatchedTimingSimulator
 
     watchdog = ctx.watchdog_cycles(len(trace))
@@ -397,25 +424,58 @@ def _batch_check(ctx: FuzzContext, program, trace, mgt, label: str,
     batch = BatchedTimingSimulator(program, trace, configs, mgt=mgt)
     results = batch.run(max_cycles=watchdog)
     for lane, expect in enumerate(expected):
-        error = batch.lane_errors.get(lane)
-        if isinstance(expect, tuple):
-            if error is None:
-                return (f"{label}: lane {lane} should have raised "
-                        f"{expect[0]} but produced stats")
-            got = (type(error).__name__, str(error))
-            if got != expect:
-                return (f"{label}: lane {lane} error mismatch: "
-                        f"batched {got} vs scalar {expect}")
-        elif error is not None:
-            return (f"{label}: lane {lane} raised "
-                    f"{type(error).__name__}: {error} but the scalar run "
-                    f"completed")
-        elif dataclasses.asdict(results[lane]) != dataclasses.asdict(expect):
-            diffs = [field.name for field in dataclasses.fields(expect)
-                     if getattr(results[lane], field.name)
-                     != getattr(expect, field.name)]
-            return (f"{label}: lane {lane} stats diverged from scalar "
-                    f"simulate_program in {', '.join(diffs)}")
+        problem = _compare_lane(label, lane, expect,
+                                batch.lane_errors.get(lane), results[lane])
+        if problem is not None:
+            return problem
+    return None
+
+
+def _mixed_batch_check(ctx: FuzzContext, rng: SplitMix64,
+                       configs: Sequence[MachineConfig]) -> Optional[str]:
+    """Cross-trace lane groups: one ``from_lanes`` pass over several traces.
+
+    Each campaign draws 2–4 sibling synth programs whose traces run under
+    sharply shrinking budgets — deliberately skewed lengths, so the pass
+    must retire short lanes early while long ones keep going — plus ctx's
+    own baseline trace and (when the selection is non-empty) its
+    handle-bearing mini-graph trace.  Every trace fields at least one lane
+    and the machine set is spread round-robin across the traces; each
+    lane's stats or error must match its scalar reference exactly.
+    """
+    from ..uarch.batch import BatchedTimingSimulator, TimingLane
+
+    members = [(ctx.program, ctx.baseline.trace, None)]
+    for sibling in range(1, 2 + rng.below(3)):        # 2-4 synth traces
+        spec = SynthSpec.sample((ctx.spec.seed + sibling) ^ 0x5EED5)
+        program = generate_program(spec, ctx.input_name)
+        run = run_program(program,
+                          max_instructions=max(64,
+                                               ctx.budget >> (3 * sibling)),
+                          input_name=ctx.input_name)
+        members.append((program, run.trace, None))
+    if ctx.selection.selected:
+        members.append((ctx.rewritten, ctx.rewritten_run.trace, ctx.mgt))
+    lanes = [(program, trace, mgt, configs[index % len(configs)])
+             for index, (program, trace, mgt) in enumerate(members)]
+    for index, config in enumerate(configs):
+        program, trace, mgt = members[index % len(members)]
+        lanes.append((program, trace, mgt, config))
+    watchdog = ctx.watchdog_cycles(max(len(trace)
+                                       for _, trace, _, _ in lanes))
+    expected = [_scalar_outcome(ctx, program, trace, mgt, config, watchdog)
+                for program, trace, mgt, config in lanes]
+    batch = BatchedTimingSimulator.from_lanes(
+        [TimingLane(program, trace, config, mgt=mgt)
+         for program, trace, mgt, config in lanes])
+    results = batch.run(max_cycles=watchdog)
+    if not batch.cross_trace:
+        return "mixed: pass failed to span multiple decoded traces"
+    for lane, expect in enumerate(expected):
+        problem = _compare_lane("mixed", lane, expect,
+                                batch.lane_errors.get(lane), results[lane])
+        if problem is not None:
+            return problem
     return None
 
 
@@ -446,6 +506,8 @@ def oracle_batch(ctx: FuzzContext) -> OracleResult:
         # this lane.
         problem = _batch_check(ctx, ctx.rewritten, ctx.rewritten_run.trace,
                                ctx.mgt, "minigraph", [machine] + lanes)
+    if problem is None:
+        problem = _mixed_batch_check(ctx, rng, lanes)
     if problem is not None:
         return OracleResult("batch", False, problem)
     return OracleResult("batch", True)

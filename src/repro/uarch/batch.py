@@ -1,31 +1,42 @@
-"""Batched multi-machine timing kernel: one decoded trace drives M machines.
+"""Batched multi-machine timing kernel: one fused pass drives M lanes.
 
-Grid campaigns time the *same* committed trace on many machine shapes — the
-planner already dedups the functional profile and the front-end compile, so
-the per-cell cost left is the scalar :class:`~repro.uarch.pipeline.
+Grid campaigns time committed traces on many machine shapes — the planner
+already dedups the functional profile and the front-end compile, so the
+per-cell cost left is the scalar :class:`~repro.uarch.pipeline.
 TimingSimulator` interpreter loop, repeated once per machine even though the
 decode facts, the trace columns and the fetch addresses never change.
 
 :class:`BatchedTimingSimulator` restructures that work as structure-of-arrays
-*lanes*:
+*lanes*.  A lane is one machine configuration over one decoded trace, and
+lanes of a pass need **not** share the trace: each lane carries a *trace
+cursor* — its interned :class:`TraceFacts` (trace identity, decoded-column
+views, length) plus its commit position while it runs — so a fig6/fig8-style
+pass can interleave a 40k-entry workload's machines with the leftover lanes
+of much smaller benchmarks instead of under-filling per-trace passes:
 
-* everything derived from the (program, trace, MGT, layout) quadruple is
+* everything derived from a (program, trace, MGT, layout) quadruple is
   computed once into a shared, immutable :class:`TraceFacts` — packed trace
   columns, decode columns (kind, latency, renamed sources, destination),
   fetch addresses and the instruction-cache line column — and broadcast to
-  every lane;
+  every lane over that trace, whichever passes those lanes ride in;
 * per-machine state lives in flat per-sequence arrays (complete cycles,
   pending-source counts, physical-register maps, LSQ flags) rather than
   per-entry ``DynInst`` objects: the replayed trace has no wrong path, so a
   dynamic entity's sequence number *is* its trace index and every "object"
   becomes an array slot;
 * event scheduling is shared *structurally* (the same wakeup-bucket /
-  ready-heap / completion-bucket machinery runs in every lane over the same
-  shared columns) and diverges per lane only where configs differ — widths,
-  unit mixes, cache and predictor geometry.  Lanes whose configurations are
-  indistinguishable on this trace (:func:`lane_behavior_key` — e.g. two
+  ready-heap / completion-bucket machinery runs in every lane over that
+  lane's columns) and diverges per lane only where configs differ — widths,
+  unit mixes, cache and predictor geometry.  Lanes whose trace cursor *and*
+  configuration are indistinguishable (:func:`lane_behavior_key` — e.g. two
   machines differing only in ``fp_units`` on an integer-only trace) simulate
-  once and share the resulting statistics.
+  once and share the resulting statistics;
+* lanes are architecturally independent (nothing mutable is shared), so the
+  pass retires each lane from its active set the moment the lane commits its
+  last trace entry — a one-entry trace batched with a 40k-entry trace costs
+  one entry, never padding to the longest lane — and a retired lane's
+  per-sequence arrays are released before the next lane's are built, keeping
+  peak memory at one live lane plus the pass's shared trace facts.
 
 The cache hierarchy is deliberately *not* shared across lanes even though
 fetch addresses are: the unified L2 sees both instruction and data misses in
@@ -254,13 +265,41 @@ def lane_behavior_key(config: MachineConfig, facts: TraceFacts) -> Tuple:
     return tuple(key)
 
 
+class TimingLane:
+    """One lane of a batched pass: a machine config over a decoded trace.
+
+    The quadruple ``(program, trace, mgt, compressed_layout)`` names the
+    lane's trace cursor — it resolves (via :func:`trace_facts` interning) to
+    the shared :class:`TraceFacts` the lane iterates, so two lanes over the
+    same quadruple share columns even when their configs differ.
+    """
+
+    __slots__ = ("program", "trace", "config", "mgt", "compressed_layout")
+
+    def __init__(self, program: Program, trace: Trace,
+                 config: MachineConfig, *,
+                 mgt: Optional[MiniGraphTable] = None,
+                 compressed_layout: bool = False) -> None:
+        self.program = program
+        self.trace = trace
+        self.config = config
+        self.mgt = mgt
+        self.compressed_layout = compressed_layout
+
+
 class BatchedTimingSimulator:
-    """Simulate one decoded trace on many machine configurations.
+    """Simulate many (decoded trace, machine configuration) lanes at once.
+
+    The positional constructor is the shared-trace form — one trace, many
+    machines; :meth:`from_lanes` is the general cross-trace form, where each
+    :class:`TimingLane` carries its own trace cursor and one pass mixes
+    lanes over different traces.
 
     Construction performs the same per-machine admission checks as the
     scalar :class:`~repro.uarch.pipeline.TimingSimulator` — but *per lane*,
-    so one inadmissible machine (e.g. ``fp_units=0`` against an FP trace)
-    lands in :attr:`lane_errors` without poisoning its sibling lanes.
+    against that lane's own trace facts, so one inadmissible machine (e.g.
+    ``fp_units=0`` against an FP trace) lands in :attr:`lane_errors` without
+    poisoning its sibling lanes (including siblings over other traces).
     :meth:`run` likewise records per-lane runtime errors (deadlock watchdog,
     scheduler misconfiguration) instead of aborting the pass; callers that
     want scalar semantics use :func:`simulate_many`, which re-raises the
@@ -271,19 +310,40 @@ class BatchedTimingSimulator:
                  configs: Sequence[MachineConfig], *,
                  mgt: Optional[MiniGraphTable] = None,
                  compressed_layout: bool = False) -> None:
-        self._program = program
-        self._trace = trace
-        self._configs = list(configs)
-        self.facts = trace_facts(program, trace, mgt, compressed_layout)
+        facts = trace_facts(program, trace, mgt, compressed_layout)
+        self._bind([facts] * len(configs), list(configs))
+
+    @classmethod
+    def from_lanes(cls, lanes: Sequence[TimingLane]
+                   ) -> "BatchedTimingSimulator":
+        """The cross-trace constructor: one pass over heterogeneous lanes."""
+        self = cls.__new__(cls)
+        self._bind([trace_facts(lane.program, lane.trace, lane.mgt,
+                                lane.compressed_layout) for lane in lanes],
+                   [lane.config for lane in lanes])
+        return self
+
+    def _bind(self, facts: List[TraceFacts],
+              configs: List[MachineConfig]) -> None:
+        # Structure-of-arrays lane state: parallel per-lane lists.  A lane's
+        # trace cursor is its interned TraceFacts (trace identity, decoded
+        # column views, length); its commit position lives inside _run_lane
+        # while the lane is active.
+        self._facts = facts
+        self._configs = configs
+        #: Distinct decoded traces across the pass's lanes.
+        self.trace_count = len({id(lane_facts) for lane_facts in facts})
+        #: Whether this pass mixes lanes over different decoded traces.
+        self.cross_trace = self.trace_count > 1
         #: lane index -> the error that lane would raise under the scalar
         #: path (admission errors at construction, runtime errors after run).
         self.lane_errors: Dict[int, Exception] = {}
         #: Lanes served by a behavior-identical sibling's simulation.
         self.deduped_lanes = 0
-        if self.facts.has_fp:
-            for lane, config in enumerate(self._configs):
-                if config.fp_units == 0:
-                    self.lane_errors[lane] = fp_admission_error(config, program)
+        for lane, (lane_facts, config) in enumerate(zip(facts, configs)):
+            if lane_facts.has_fp and config.fp_units == 0:
+                self.lane_errors[lane] = fp_admission_error(
+                    config, lane_facts.program)
 
     @property
     def lanes(self) -> int:
@@ -293,20 +353,27 @@ class BatchedTimingSimulator:
             ) -> List[Optional[PipelineStats]]:
         """Simulate every admissible lane; returns per-lane statistics.
 
-        The result list is parallel to the constructor's config sequence;
+        The result list is parallel to the constructor's lane sequence;
         errored lanes hold ``None`` and their exception sits in
         :attr:`lane_errors`.
+
+        Lanes dedup per ``(trace facts, behavior key)`` — facts are interned,
+        so identity distinguishes traces — and the active set retires whole
+        lanes in deterministic first-lane order: lanes are architecturally
+        independent, so a lane ends the moment it commits its last trace
+        entry, and short-trace lanes never pad to the pass's longest lane.
         """
-        facts = self.facts
         results: List[Optional[PipelineStats]] = [None] * len(self._configs)
         groups: Dict[Tuple, List[int]] = {}
-        for lane, config in enumerate(self._configs):
+        for lane, (lane_facts, config) in enumerate(zip(self._facts,
+                                                        self._configs)):
             if lane in self.lane_errors:
                 continue
-            groups.setdefault(lane_behavior_key(config, facts),
+            groups.setdefault((lane_facts, lane_behavior_key(config,
+                                                             lane_facts)),
                               []).append(lane)
         self.deduped_lanes = sum(len(lanes) - 1 for lanes in groups.values())
-        for lanes in groups.values():
+        for (facts, _), lanes in groups.items():
             try:
                 stats = _run_lane(facts, self._configs[lanes[0]], max_cycles)
             except (ConfigError, TimingError) as error:

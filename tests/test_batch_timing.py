@@ -21,11 +21,12 @@ import pytest
 
 from repro import prepare_minigraph_run
 from repro.api import RunSpec, Session
-from repro.grid.planner import timing_batches
+from repro.grid.planner import pack_lane_groups, timing_batches
 from repro.sim.functional import run_program
 from repro.uarch.batch import (
     DEFAULT_MAX_LANES,
     BatchedTimingSimulator,
+    TimingLane,
     simulate_many,
 )
 from repro.uarch.catalog import machine_config, machine_names
@@ -64,7 +65,11 @@ class TestGoldenIdentity:
         spec = RunSpec(benchmark=workload, budget=expected["budget"])
         primed = session.prime_timing([spec])
         assert primed >= 2                     # baseline + mini-graph lanes
-        assert session.stats.batched_timing_passes >= 2
+        # The baseline-trace and mini-graph-trace lane groups pack into one
+        # cross-trace pass (they total well under the lane cap).
+        assert session.stats.batched_timing_passes == 1
+        assert session.stats.batched_timing_cross_trace_lanes == primed
+        assert session.stats.batched_timing_shared_trace_lanes == 0
         timing_runs_after_prime = session.stats.timing_runs
         artifacts = session.run(spec)
         # The run must be served from the primed cache — no scalar timing.
@@ -212,6 +217,181 @@ class TestAdmissionIsolation:
             simulate_many(program, trace, [baseline_config(), bad])
 
 
+class TestCrossTraceKernel:
+    """Lanes over different decoded traces retire through one fused pass."""
+
+    def test_mixed_trace_catalog_matrix(self):
+        # The catalog equivalence matrix, extended to mixed-trace groups:
+        # bitcount's baseline trace and crc's handle-bearing mini-graph
+        # trace interleave through every catalog machine in one pass.
+        bit = load_benchmark("bitcount", "reference")
+        bit_trace = run_program(bit, max_instructions=BUDGET).trace
+        crc = prepare_minigraph_run(load_benchmark("crc", "reference"),
+                                    budget=BUDGET)
+        configs = [machine_config(name) for name in machine_names()]
+        lanes, expected = [], []
+        for index, config in enumerate(configs):
+            if index % 2:
+                lanes.append(TimingLane(crc.rewritten,
+                                        crc.rewritten_result.trace, config,
+                                        mgt=crc.mgt))
+                expected.append(_scalar_outcomes(
+                    crc.rewritten, crc.rewritten_result.trace, [config],
+                    mgt=crc.mgt)[0])
+            else:
+                lanes.append(TimingLane(bit, bit_trace, config))
+                expected.append(_scalar_outcomes(bit, bit_trace,
+                                                 [config])[0])
+        batch = BatchedTimingSimulator.from_lanes(lanes)
+        assert batch.cross_trace and batch.trace_count == 2
+        results = batch.run()
+        # Plain machines on the handle trace must still error per lane.
+        assert any(isinstance(item, tuple) for item in expected)
+        for lane, expect in enumerate(expected):
+            error = batch.lane_errors.get(lane)
+            if isinstance(expect, tuple):
+                assert error is not None, \
+                    f"lane {lane} should have raised {expect[0]}"
+                assert (type(error).__name__, str(error)) == expect
+            else:
+                assert error is None, f"lane {lane}: unexpected {error!r}"
+                assert _stats_equal(results[lane], expect), \
+                    f"lane {lane} ({configs[lane].name}) diverged from scalar"
+
+    def test_lanes_finish_at_different_cycles(self):
+        # A short trace retires early while its long sibling keeps going;
+        # both lanes' stats equal their own scalar runs.
+        short_prog = load_benchmark("fnvmix", "reference")
+        short_trace = run_program(short_prog, max_instructions=120).trace
+        long_prog = load_benchmark("bitcount", "reference")
+        long_trace = run_program(long_prog, max_instructions=BUDGET).trace
+        assert len(short_trace) < len(long_trace)
+        configs = [baseline_config(), machine_config("prf144")]
+        batch = BatchedTimingSimulator.from_lanes(
+            [TimingLane(short_prog, short_trace, configs[0]),
+             TimingLane(long_prog, long_trace, configs[0]),
+             TimingLane(short_prog, short_trace, configs[1]),
+             TimingLane(long_prog, long_trace, configs[1])])
+        results = batch.run()
+        assert batch.cross_trace and not batch.lane_errors
+        for lane, (program, trace) in enumerate(
+                [(short_prog, short_trace), (long_prog, long_trace)] * 2):
+            reference = simulate_program(program, trace,
+                                         configs[lane // 2])
+            assert _stats_equal(results[lane], reference), \
+                f"lane {lane} diverged from scalar"
+
+    def test_one_entry_trace_batched_with_40k_trace(self):
+        # Extreme skew: one committed entry beside ~40k entries.  The short
+        # lane must cost one entry — whole-lane retirement, no padding —
+        # and both rows stay bit-identical to scalar.
+        tiny_prog = load_benchmark("bitcount", "reference")
+        tiny_trace = run_program(tiny_prog, max_instructions=1).trace
+        big_prog = load_benchmark("listchase", "reference")
+        big_trace = run_program(big_prog, max_instructions=45_000).trace
+        assert len(tiny_trace) == 1
+        assert len(big_trace) > 40_000
+        config = baseline_config()
+        batch = BatchedTimingSimulator.from_lanes(
+            [TimingLane(tiny_prog, tiny_trace, config),
+             TimingLane(big_prog, big_trace, config)])
+        results = batch.run()
+        assert batch.cross_trace and not batch.lane_errors
+        assert _stats_equal(results[0],
+                            simulate_program(tiny_prog, tiny_trace, config))
+        assert _stats_equal(results[1],
+                            simulate_program(big_prog, big_trace, config))
+
+    def test_admission_error_lane_in_mixed_group(self):
+        # An inadmissible lane in a mixed-trace pass errors alone; sibling
+        # lanes over the other trace are untouched.
+        from repro.fuzz.generator import SynthSpec, generate_program
+        spec = SynthSpec.sample(1004).with_dials(fp_density=40)
+        fp_prog = generate_program(spec, "reference")
+        fp_trace = run_program(fp_prog, max_instructions=10_000).trace
+        other = load_benchmark("crc", "reference")
+        other_trace = run_program(other, max_instructions=BUDGET).trace
+        good = baseline_config()
+        bad = dataclasses.replace(good, name="fp-less", fp_units=0)
+        batch = BatchedTimingSimulator.from_lanes(
+            [TimingLane(other, other_trace, good),
+             TimingLane(fp_prog, fp_trace, bad),
+             TimingLane(fp_prog, fp_trace, good)])
+        results = batch.run()
+        assert batch.cross_trace
+        assert set(batch.lane_errors) == {1}
+        with pytest.raises(ConfigError) as scalar:
+            simulate_program(fp_prog, fp_trace, bad)
+        assert str(batch.lane_errors[1]) == str(scalar.value)
+        assert _stats_equal(results[0],
+                            simulate_program(other, other_trace, good))
+        assert _stats_equal(results[2],
+                            simulate_program(fp_prog, fp_trace, good))
+
+
+class TestLanePacking:
+    """The planner's longest-first best-fit bin-pack of lane groups."""
+
+    def test_full_bins_then_best_fit_remainders(self):
+        # Group 1 (longest trace) fills a whole pass of 8; its remainder
+        # opens a second pass that then absorbs both shorter groups whole.
+        shapes = [(3, 10), (9, 50), (4, 5)]
+        bins = pack_lane_groups(shapes, 8)
+        assert bins == [[(1, 0, 8)], [(1, 8, 9), (0, 0, 3), (2, 0, 4)]]
+        assert bins == pack_lane_groups(shapes, 8)   # deterministic
+
+    def test_best_fit_prefers_tightest_open_pass(self):
+        # Free space 3 vs 2: the 2-lane group lands in the tighter pass.
+        bins = pack_lane_groups([(5, 30), (6, 20), (2, 10)], 8)
+        assert bins == [[(0, 0, 5)], [(1, 0, 6), (2, 0, 2)]]
+
+    def test_remainders_are_never_split(self):
+        # A 5-lane group does not fit the 2 free slots; it opens a new
+        # pass whole so its behavior-key dedup stays intact.
+        bins = pack_lane_groups([(6, 30), (5, 20)], 8)
+        assert bins == [[(0, 0, 6)], [(1, 0, 5)]]
+
+    def test_timing_batches_pack_across_traces(self):
+        # Two specs contribute four one-lane groups (two baseline traces,
+        # two mini-graph traces); they pack into a single cross-trace pass.
+        specs = [RunSpec(benchmark="bitcount", budget=BUDGET),
+                 RunSpec(benchmark="crc", budget=BUDGET)]
+        batches = timing_batches(specs)
+        assert len(batches) == 1
+        [batch] = batches
+        assert batch.cross_trace
+        assert batch.trace_count == 4
+        assert batch.lane_count == 4
+        # Capping at 2 lanes splits into two passes, each still spanning
+        # two traces.
+        halves = timing_batches(specs, max_lanes=2)
+        assert [item.lane_count for item in halves] == [2, 2]
+        assert all(item.cross_trace for item in halves)
+
+
+class TestMaxLanesCli:
+    """``--max-lanes`` is validated and plumbed through ``repro grid``."""
+
+    def test_grid_rejects_non_positive_max_lanes(self, capsys):
+        from repro.api.cli import main
+        assert main(["--no-disk-cache", "grid", "--name", "mini",
+                     "--max-lanes", "0"]) == 2
+        assert "--max-lanes" in capsys.readouterr().err
+
+    def test_bench_rejects_non_positive_max_lanes(self, capsys):
+        from repro.api.cli import main
+        assert main(["--no-disk-cache", "bench", "--max-lanes", "-3"]) == 2
+        assert "--max-lanes" in capsys.readouterr().err
+
+    def test_grid_runs_with_lane_cap(self, capsys):
+        from repro.api.cli import main
+        assert main(["--no-disk-cache", "--json", "grid", "--name", "mini",
+                     "--budget", str(BUDGET), "--workers", "0",
+                     "--max-lanes", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cells"] == 4
+
+
 class TestResumeInterop:
     """Row artifacts are shared currency between scalar and batched runs."""
 
@@ -224,7 +404,10 @@ class TestResumeInterop:
 
         def build(point):
             policy = DEFAULT_POLICY if point["mode"] == "int-mem" else None
-            return RunSpec(benchmark=point["benchmark"], budget=BUDGET,
+            # Skewed budgets: the batched direction packs short and long
+            # traces into one cross-trace pass with early lane retirement.
+            budget = BUDGET if point["benchmark"] == "bitcount" else 400
+            return RunSpec(benchmark=point["benchmark"], budget=budget,
                            policy=policy)
 
         return GridSpec(name="interop-grid", axes=axes, build=build)
@@ -246,7 +429,11 @@ class TestResumeInterop:
 
     def test_batched_and_scalar_rows_are_bit_identical(self):
         grid = self._grid()
-        batched = list(Session().run_grid(grid, workers=0, batch=True))
+        session = Session()
+        batched = list(session.run_grid(grid, workers=0, batch=True))
+        # The grid's lanes span several decoded traces, so the batched
+        # direction must actually have exercised the cross-trace kernel.
+        assert session.stats.batched_timing_cross_trace_lanes > 0
         scalar = list(Session().run_grid(grid, workers=0, batch=False))
         assert [row.as_dict() for row in batched] \
             == [row.as_dict() for row in scalar]
